@@ -1,0 +1,63 @@
+// Command minerscan runs the full measurement pipeline over a generated
+// ecosystem and prints the headline results: dataset summary, top campaigns,
+// pool popularity and the circulating-supply share, optionally dumping the
+// campaign list as JSON.
+//
+// Usage:
+//
+//	minerscan -seed 42 -scale 0.5 -top 10 -json campaigns.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/ecosim"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "generation seed")
+		scale   = flag.Float64("scale", 0.3, "ecosystem scale factor")
+		topN    = flag.Int("top", 10, "number of top campaigns to print")
+		jsonOut = flag.String("json", "", "optional path to write campaigns as JSON")
+	)
+	flag.Parse()
+
+	cfg := ecosim.DefaultConfig().Scale(*scale)
+	cfg.Seed = *seed
+	log.Printf("generating ecosystem (seed=%d, scale=%.2f)...", *seed, *scale)
+	u := ecosim.Generate(cfg)
+
+	log.Printf("running measurement pipeline over %d samples...", u.Corpus.Len())
+	pipeline := core.NewFromUniverse(u)
+	res, err := pipeline.Run()
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	fmt.Println(core.DatasetSummary(res).String())
+	fmt.Println(core.TopCampaignsTable(res, *topN).String())
+	fmt.Println(core.PoolPopularityTable(res).String())
+	fmt.Printf("Total earnings: %.0f XMR (%.0f USD), %.2f%% of circulating XMR at %s\n",
+		res.TotalXMR, res.TotalUSD, res.CirculationShare*100, res.QueryTime.Format("2006-01-02"))
+
+	v := core.Validate(res.Campaigns)
+	fmt.Printf("Aggregation validation vs ground truth: %d campaigns, purity %.1f%%, %d merged, %d/%d ground-truth campaigns split\n",
+		v.CampaignsWithSamples, v.Purity()*100, v.MergedCampaigns, v.GroundTruthSplit, v.GroundTruthTotal)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res.Campaigns, "", " ")
+		if err != nil {
+			log.Fatalf("marshal campaigns: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		log.Printf("campaigns written to %s", *jsonOut)
+	}
+}

@@ -1,0 +1,55 @@
+// Command poolserver runs one simulated Monero mining pool: a Stratum TCP
+// listener miners can connect to and the public HTTP statistics API the
+// profit analysis queries. Useful for interactive experimentation with the
+// Stratum client, the mining proxy and the wallet-stats collector.
+//
+// Usage:
+//
+//	poolserver -name minexmr -stratum 127.0.0.1:4444 -http 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
+)
+
+func main() {
+	var (
+		name        = flag.String("name", "minexmr", "pool name")
+		stratumAddr = flag.String("stratum", "127.0.0.1:4444", "Stratum listen address")
+		httpAddr    = flag.String("http", "127.0.0.1:8080", "HTTP stats API listen address")
+		opaque      = flag.Bool("opaque", false, "run as an opaque pool (no public stats)")
+		banAfterIPs = flag.Int("ban-after-ips", 1000, "ban wallets seen from more than this many IPs (0 disables)")
+	)
+	flag.Parse()
+
+	policy := pool.DefaultPolicy()
+	policy.Transparent = !*opaque
+	policy.BanIPThreshold = *banAfterIPs
+	p := pool.New(*name, []string{*name + ".example"}, model.CurrencyMonero, policy, nil)
+	srv := pool.NewServer(p)
+
+	sAddr, err := srv.ListenStratum(*stratumAddr)
+	if err != nil {
+		log.Fatalf("stratum listen: %v", err)
+	}
+	hAddr, err := srv.ListenHTTP(*httpAddr)
+	if err != nil {
+		log.Fatalf("http listen: %v", err)
+	}
+	fmt.Printf("pool %q running\n  stratum: %s\n  stats:   http://%s/api/stats?address=<wallet>\n  info:    http://%s/api/pool\n",
+		*name, sAddr, hAddr, hAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	_ = srv.Close()
+}

@@ -1,0 +1,12 @@
+// Package cryptomining is a from-scratch Go reproduction of the measurement
+// system described in "A First Look at the Crypto-Mining Malware Ecosystem: A
+// Decade of Unrestricted Wealth" (Pastrana & Suarez-Tangil, IMC 2019).
+//
+// The library lives under internal/: substrates (binary analysis, fuzzy
+// hashing, wallet syntax, YARA-like rules, Stratum protocol, DNS and mining
+// pool simulators, AV and OSINT simulation, underground-forum trends, malware
+// feeds) and the measurement core (extraction, campaign aggregation, profit
+// analysis, report datasets). Runnable entry points are under cmd/ and
+// examples/; bench_test.go regenerates every table and figure of the paper's
+// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package cryptomining

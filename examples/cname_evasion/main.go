@@ -1,0 +1,73 @@
+// CNAME evasion: reproduce the Freebuf-style evasion technique from the
+// paper's case studies. A campaign creates subdomains under its own domains
+// and points them, via CNAME records, at well-known mining pools. Blocklists
+// that only contain pool domains never see the pool name in the malware's DNS
+// traffic. The measurement pipeline defeats this by resolving every extracted
+// domain, following CNAME chains, and consulting passive-DNS history for
+// aliases that have since been re-pointed or removed.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cryptomining/internal/dnssim"
+	"cryptomining/internal/pool"
+)
+
+func main() {
+	// 1. The DNS environment: pool A records plus the campaign's aliases.
+	zone := dnssim.NewZone()
+	zone.AddA("pool.minexmr.com", "94.130.12.30", time.Time{})
+	zone.AddA("mine.crypto-pool.fr", "163.172.226.114", time.Time{})
+
+	// The characteristic alias of the campaign, live right now.
+	zone.AddCNAME("xt.freebuf.example", "pool.minexmr.com", date(2016, 6, 1))
+	// An alias that pointed at crypto-pool historically, then was re-pointed
+	// at minexmr — only passive DNS reveals the first pool.
+	zone.AddCNAME("x.alibuf.example", "mine.crypto-pool.fr", date(2016, 6, 1))
+	zone.Retire("x.alibuf.example", dnssim.TypeCNAME, date(2017, 8, 1))
+	zone.AddCNAME("x.alibuf.example", "pool.minexmr.com", date(2017, 8, 2))
+	// An abandoned alias with no current records at all.
+	zone.AddCNAME("xmr.honker.example", "pool.minexmr.com", date(2016, 6, 1))
+	zone.Retire("xmr.honker.example", dnssim.TypeCNAME, date(2018, 12, 1))
+
+	// 2. Domains extracted from the campaign's samples by the pipeline.
+	extracted := []string{
+		"xt.freebuf.example",
+		"x.alibuf.example",
+		"xmr.honker.example",
+		"github.com",          // hosting, not an alias
+		"pool.minexmr.com",    // a pool's own domain, not an alias
+	}
+
+	// 3. Unmask the aliases exactly as the aggregation stage does.
+	dir := pool.NewDirectory(nil)
+	detector := dnssim.NewAliasDetector(zone, dir.DomainMap())
+
+	fmt.Println("CNAME alias detection over extracted domains:")
+	findings := detector.DetectAll(extracted)
+	for _, f := range findings {
+		how := "live DNS"
+		if f.Historical {
+			how = "passive DNS history"
+		}
+		fmt.Printf("  %-22s -> pool %-12s (matched %s via %s)\n", f.Alias, f.Pool, f.PoolDomain, how)
+	}
+	fmt.Printf("%d of %d extracted domains are pool aliases\n\n", len(findings), len(extracted))
+
+	// 4. Show the history of the re-pointed alias: it linked two pools over
+	//    its lifetime, the dual-alias behaviour the paper highlights.
+	fmt.Println("passive DNS history of x.alibuf.example:")
+	for _, rec := range zone.History("x.alibuf.example") {
+		until := "now"
+		if !rec.To.IsZero() {
+			until = rec.To.Format("2006-01-02")
+		}
+		fmt.Printf("  %s -> %s (%s to %s)\n", rec.Name, rec.Value, rec.From.Format("2006-01-02"), until)
+	}
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}

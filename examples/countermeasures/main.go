@@ -1,0 +1,84 @@
+// Countermeasures: replay the interventions discussed in §VI of the paper
+// against a generated ecosystem — report the most profitable campaigns'
+// wallets to the pools, measure how much of the earnings stream that cuts
+// off, quantify the campaign die-offs caused by the three PoW changes, and
+// estimate how much a more aggressive fork cadence would cost a non-updating
+// botnet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/intervention"
+	"cryptomining/internal/model"
+	"cryptomining/internal/pow"
+	"cryptomining/internal/profit"
+	"cryptomining/internal/report"
+)
+
+func main() {
+	universe := ecosim.Generate(ecosim.SmallConfig())
+	results, err := core.NewFromUniverse(universe).Run()
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	// 1. Report the wallets of the top campaigns to the pools.
+	top := profit.TopCampaigns(results.Profits, 3)
+	var wallets []string
+	for _, cp := range top {
+		wallets = append(wallets, cp.Campaign.Wallets...)
+	}
+	outcomes := intervention.ReportWallets(universe.Pools, wallets,
+		intervention.DefaultCooperation(), universe.Config.QueryTime)
+	banned, declined := 0, 0
+	for _, o := range outcomes {
+		if o.Banned {
+			banned++
+		} else {
+			declined++
+		}
+	}
+	fmt.Printf("reported %d wallets of the top-%d campaigns: %d (pool,wallet) pairs banned, %d declined\n",
+		len(wallets), len(top), banned, declined)
+	for _, o := range outcomes {
+		if !o.Banned && o.Reason != "" {
+			fmt.Printf("  declined at %-12s for %s: %s\n", o.Pool, model.ShortHash(o.Wallet), o.Reason)
+		}
+	}
+
+	// 2. Campaign die-offs at the three Monero PoW changes.
+	var campaignPayments []intervention.CampaignPayments
+	for _, cp := range results.Profits {
+		var times []time.Time
+		for _, p := range cp.Payments {
+			times = append(times, p.Timestamp)
+		}
+		campaignPayments = append(campaignPayments, intervention.CampaignPayments{
+			CampaignID: cp.Campaign.ID, Payments: times,
+		})
+	}
+	tbl := report.NewTable("Campaign die-off at PoW changes (paper: ~72%, ~89%, ~96%)",
+		"Fork", "Active before", "Still active after", "Ceased")
+	for _, d := range intervention.MeasureForkDieOffs(campaignPayments, pow.ForkDates(pow.MoneroEpochs), 120*24*time.Hour) {
+		tbl.AddRow(d.Fork.Format("2006-01-02"), fmt.Sprintf("%d", d.ActiveBefore),
+			fmt.Sprintf("%d", d.ActiveAfter), fmt.Sprintf("%.0f%%", d.CeasedPercent))
+	}
+	fmt.Println()
+	fmt.Println(tbl.String())
+
+	// 3. The proposed countermeasure: increase the fork cadence. A 2,000-bot
+	//    botnet whose operator never updates earns until the first fork.
+	network := pow.NewMoneroNetwork()
+	start := model.Date(2017, 6, 1)
+	horizon := 365 * 24 * time.Hour
+	fmt.Println("earnings of a non-updating 2,000-bot botnet over one year, by fork cadence:")
+	for _, cadence := range []time.Duration{365 * 24 * time.Hour, 180 * 24 * time.Hour, 90 * 24 * time.Hour, 30 * 24 * time.Hour} {
+		xmr := intervention.ForkFrequencyScenario(network, 2000, start, horizon, cadence)
+		fmt.Printf("  fork every %3.0f days: %8.1f XMR\n", cadence.Hours()/24, xmr)
+	}
+}

@@ -1,0 +1,108 @@
+// Pool monitoring: run a simulated mining pool, point Stratum miners (one of
+// them behind a mining proxy) at it, then query the pool's public HTTP stats
+// API the way the profit-analysis stage does, and finally demonstrate the
+// report-and-ban intervention from the paper's case studies (§V): once a
+// wallet is banned, miners are refused and the operator has to move pools.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
+	"cryptomining/internal/proxy"
+	"cryptomining/internal/stratum"
+)
+
+func main() {
+	// 1. Start the pool: Stratum listener + HTTP stats API.
+	policy := pool.DefaultPolicy()
+	policy.BanIPThreshold = 0 // rely on manual bans for this demo
+	p := pool.New("minexmr", []string{"minexmr.example"}, model.CurrencyMonero, policy, nil)
+	srv := pool.NewServer(p)
+	srv.Clock = func() time.Time { return time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC) }
+	stratumAddr, err := srv.ListenStratum("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpAddr, err := srv.ListenHTTP("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("pool up: stratum %s, stats http://%s\n", stratumAddr, httpAddr)
+
+	campaignWallet := "45c2ShhBmuExampleCampaignWallet"
+
+	// 2. A bot mining directly against the pool.
+	direct, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer direct.Close()
+	if _, err := direct.Login(campaignWallet, "x"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := direct.Submit("0badc0de", "00ff"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("direct bot submitted 20 shares")
+
+	// 3. A small botnet mining through a proxy: the pool only ever sees the
+	//    proxy's single IP, which is how large botnets evade IP-based bans.
+	px := proxy.New(stratumAddr, campaignWallet)
+	proxyAddr, err := px.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer px.Close()
+	for bot := 0; bot < 5; bot++ {
+		c, err := stratum.Dial(proxyAddr, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.Login("bot-worker", "x"); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := c.Submit("0a", "bb"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c.Close()
+	}
+	st := px.Stats()
+	fmt.Printf("proxy forwarded %d shares from %d bots; pool sees %d source IP(s)\n",
+		st.SharesForwarded, st.DownstreamConnections, p.DistinctIPs(campaignWallet))
+
+	// 4. Query the wallet like the measurement does, over the HTTP API.
+	stats, err := pool.QueryStatsHTTP(nil, "http://"+httpAddr, campaignWallet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public stats: %d hashes credited, balance %.6f XMR, %d payments\n",
+		stats.Hashes, stats.Balance, stats.NumPayments)
+
+	// 5. Intervention: the wallet is reported and banned; further logins and
+	//    shares are refused, so the operator must rotate wallets or pools.
+	if err := p.BanWallet(campaignWallet, srv.Clock()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := stratum.Dial(stratumAddr, 2*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	banned, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer banned.Close()
+	if _, err := banned.Login(campaignWallet, "x"); err != nil {
+		fmt.Printf("after the ban, login is refused: %v\n", err)
+	} else {
+		fmt.Println("unexpected: banned wallet logged in")
+	}
+}

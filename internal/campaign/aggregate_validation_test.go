@@ -1,0 +1,177 @@
+package campaign
+
+// Aggregation-quality validation against the ecosystem simulator's ground
+// truth. The paper verifies its heuristics manually against OSINT-documented
+// botnets (§VI "Quality of the aggregation"); with a synthetic corpus we can
+// quantify precision (purity of produced campaigns) and the amount of
+// splitting, and check that disabling grouping features degrades recall
+// without ever merging unrelated campaigns.
+
+import (
+	"testing"
+
+	"cryptomining/internal/dnssim"
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/model"
+	"cryptomining/internal/spec"
+)
+
+// buildInputsFromUniverse converts the ground-truth corpus into aggregation
+// inputs directly from the embedded behaviour blobs (bypassing the analysis
+// stages, which have their own tests) so this file isolates the aggregation
+// quality itself.
+func buildInputsFromUniverse(u *ecosim.Universe) []Input {
+	var inputs []Input
+	for _, c := range u.Campaigns {
+		for _, h := range c.Samples {
+			sample, ok := u.Corpus.Get(h)
+			if !ok {
+				continue
+			}
+			b, ok := spec.Extract(sample.Content)
+			if !ok || !b.IsMiner {
+				continue
+			}
+			rec := model.Record{
+				SHA256:    h,
+				User:      b.Wallet,
+				URLPool:   b.PoolEndpoint(),
+				Type:      model.TypeMiner,
+				FirstSeen: sample.FirstSeen,
+				ITWURLs:   sample.ITWURLs,
+				DNSRR:     append([]string{}, b.ContactsDomains...),
+				Parents:   sample.Parents,
+			}
+			inputs = append(inputs, Input{Record: rec, GroundTruthID: c.ID})
+		}
+		for _, h := range c.Droppers {
+			sample, ok := u.Corpus.Get(h)
+			if !ok {
+				continue
+			}
+			rec := model.Record{
+				SHA256:    h,
+				Type:      model.TypeAncillary,
+				FirstSeen: sample.FirstSeen,
+				ITWURLs:   sample.ITWURLs,
+				Dropped:   sample.DroppedHashes,
+			}
+			inputs = append(inputs, Input{Record: rec, GroundTruthID: c.ID})
+		}
+	}
+	return inputs
+}
+
+func universeAggregator(u *ecosim.Universe, features Features) *Aggregator {
+	detector := dnssim.NewAliasDetector(u.Zone, u.Pools.DomainMap())
+	cfg := DefaultConfig(u.OSINT, detector, u.Pools.DomainMap())
+	cfg.Features = features
+	return New(cfg)
+}
+
+// purity computes the fraction of produced campaigns (with ground truth) whose
+// samples all come from a single ground-truth campaign.
+func purity(res *Result) (pure, total int) {
+	for _, c := range res.Campaigns {
+		if len(c.GroundTruthIDs) == 0 {
+			continue
+		}
+		total++
+		if len(c.GroundTruthIDs) == 1 {
+			pure++
+		}
+	}
+	return pure, total
+}
+
+func TestAggregationPurityAgainstGroundTruth(t *testing.T) {
+	u := ecosim.Generate(ecosim.SmallConfig())
+	inputs := buildInputsFromUniverse(u)
+	res := universeAggregator(u, DefaultFeatures()).Aggregate(inputs)
+
+	pure, total := purity(res)
+	if total == 0 {
+		t.Fatal("no campaigns with ground truth")
+	}
+	if frac := float64(pure) / float64(total); frac < 0.93 {
+		t.Errorf("purity = %.3f (%d/%d), want >= 0.93: unrelated campaigns are being merged", frac, pure, total)
+	}
+}
+
+func TestAggregationDoesNotMergeViaPublicHosting(t *testing.T) {
+	// Many unrelated campaigns host on GitHub / AWS; they must not collapse
+	// into one produced campaign.
+	u := ecosim.Generate(ecosim.SmallConfig())
+	inputs := buildInputsFromUniverse(u)
+	res := universeAggregator(u, DefaultFeatures()).Aggregate(inputs)
+
+	largest := 0
+	for _, c := range res.Campaigns {
+		if len(c.GroundTruthIDs) > largest {
+			largest = len(c.GroundTruthIDs)
+		}
+	}
+	if largest > 3 {
+		t.Errorf("a produced campaign merges %d ground-truth campaigns; public hosting or donation wallets are leaking into the grouping", largest)
+	}
+}
+
+func TestAggregationFeatureAblationMonotonicity(t *testing.T) {
+	// Removing grouping features can only split campaigns further (more
+	// produced campaigns), never merge more.
+	u := ecosim.Generate(ecosim.SmallConfig())
+	inputs := buildInputsFromUniverse(u)
+
+	full := universeAggregator(u, DefaultFeatures()).Aggregate(inputs)
+	idOnly := universeAggregator(u, Features{SameIdentifier: true}).Aggregate(inputs)
+	noCNAME := DefaultFeatures()
+	noCNAME.CNAMEAliases = false
+	withoutCNAME := universeAggregator(u, noCNAME).Aggregate(inputs)
+
+	if len(idOnly.Campaigns) < len(full.Campaigns) {
+		t.Errorf("identifier-only produced %d campaigns < full %d", len(idOnly.Campaigns), len(full.Campaigns))
+	}
+	if len(withoutCNAME.Campaigns) < len(full.Campaigns) {
+		t.Errorf("no-CNAME produced %d campaigns < full %d", len(withoutCNAME.Campaigns), len(full.Campaigns))
+	}
+	// Purity must not degrade when features are removed.
+	pFull, tFull := purity(full)
+	pID, tID := purity(idOnly)
+	if float64(pID)/float64(tID) < float64(pFull)/float64(tFull)-0.02 {
+		t.Errorf("identifier-only purity %.3f worse than full purity %.3f",
+			float64(pID)/float64(tID), float64(pFull)/float64(tFull))
+	}
+}
+
+func TestAggregationRecoversMultiWalletCampaigns(t *testing.T) {
+	// The case-study campaigns use several wallets tied together by CNAME
+	// aliases and droppers; the aggregation should reunite a large fraction
+	// of each one's samples.
+	u := ecosim.Generate(ecosim.SmallConfig())
+	inputs := buildInputsFromUniverse(u)
+	res := universeAggregator(u, DefaultFeatures()).Aggregate(inputs)
+
+	for _, gtID := range []int{ecosim.FreebufCampaignID, ecosim.USA138CampaignID} {
+		var gt *ecosim.GroundTruthCampaign
+		for _, c := range u.Campaigns {
+			if c.ID == gtID {
+				gt = c
+			}
+		}
+		if gt == nil {
+			t.Fatalf("ground truth campaign %d missing", gtID)
+		}
+		// Find the largest produced campaign containing this ground truth.
+		best := 0
+		for _, c := range res.Campaigns {
+			for _, id := range c.GroundTruthIDs {
+				if id == gtID && len(c.Samples) > best {
+					best = len(c.Samples)
+				}
+			}
+		}
+		if float64(best) < 0.8*float64(len(gt.Samples)) {
+			t.Errorf("campaign %d: largest recovered fragment has %d of %d samples", gtID, best, len(gt.Samples))
+		}
+	}
+}

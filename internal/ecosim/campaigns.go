@@ -1,0 +1,500 @@
+package ecosim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cryptomining/internal/avsim"
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/model"
+	"cryptomining/internal/osint"
+	"cryptomining/internal/pow"
+	"cryptomining/internal/spec"
+)
+
+// hostingSites are the public-hosting domains of Table VI plus criminal-run
+// hosts; weights skew toward GitHub as the paper observes.
+var hostingSites = []struct {
+	host   string
+	public bool
+	weight float64
+}{
+	{"github.com", true, 0.22},
+	{"s3.amazonaws.com", true, 0.12},
+	{"www.weebly.com", true, 0.09},
+	{"drive.google.com", true, 0.06},
+	{"hrtests.ru", false, 0.05},
+	{"cdn.discordapp.com", true, 0.05},
+	{"a.cuntflaps.me", false, 0.04},
+	{"file-5.ru", false, 0.04},
+	{"telekomtv-internet.ro", false, 0.04},
+	{"mondoconnx.com", false, 0.03},
+	{"dropbox.com", true, 0.03},
+	{"4sync.com", true, 0.03},
+	{"goo.gl", true, 0.03},
+	{"b-tor.ru", false, 0.03},
+	{"bitbucket.org", true, 0.02},
+	{"pack.1e5.com", false, 0.02},
+	{"mysuperproga.com", false, 0.02},
+	{"store4.up-00.com", false, 0.02},
+	{"4i7i.com", false, 0.02},
+	{"bluefile.biz", false, 0.02},
+	{"directxex.com", false, 0.02},
+}
+
+// packerChoices follow the Table X distribution: UPX dominates, most samples
+// are not packed at all.
+var packerChoices = []struct {
+	name   string
+	weight float64
+}{
+	{"", 0.62}, // not packed
+	{"UPX", 0.24},
+	{"NSIS", 0.05},
+	{"maxorder", 0.02},
+	{"SFX", 0.02},
+	{"INNO", 0.015},
+	{"Enigma", 0.01},
+	{"ASPack", 0.01},
+	{"Themida", 0.005},
+	{"MPRESS", 0.01},
+}
+
+func (g *generator) pickHosting() (host string, public bool) {
+	r := g.rng.Float64()
+	cum := 0.0
+	for _, h := range hostingSites {
+		cum += h.weight
+		if r < cum {
+			return h.host, h.public
+		}
+	}
+	last := hostingSites[len(hostingSites)-1]
+	return last.host, last.public
+}
+
+func (g *generator) pickPacker() string {
+	r := g.rng.Float64()
+	cum := 0.0
+	for _, p := range packerChoices {
+		cum += p.weight
+		if r < cum {
+			return p.name
+		}
+	}
+	return ""
+}
+
+// generateCampaign fabricates one random campaign and all of its artefacts.
+func (g *generator) generateCampaign(id int, currency model.Currency, forceStealthy bool) *GroundTruthCampaign {
+	start, end := g.campaignWindow(currency)
+	size := g.campaignSizeProfile()
+	c := &GroundTruthCampaign{
+		ID:        id,
+		Name:      fmt.Sprintf("campaign-%04d", id),
+		Currency:  currency,
+		BotnetSize: size,
+		Start:     start,
+		End:       end,
+		MaintainsUpdates: g.rng.Float64() < 0.28,
+		Stealthy:         forceStealthy || g.rng.Float64() < 0.08,
+	}
+
+	// Wallet count: mostly one, occasionally several (bans force rotation).
+	numWallets := 1
+	switch v := g.rng.Float64(); {
+	case v < 0.10:
+		numWallets = 2 + g.rng.Intn(3)
+	case v < 0.13:
+		numWallets = 5 + g.rng.Intn(10)
+	}
+	for i := 0; i < numWallets; i++ {
+		c.Wallets = append(c.Wallets, g.wallets.ForCurrency(currency))
+	}
+
+	// Infrastructure choices: more profitable (bigger) campaigns are more
+	// likely to invest in third-party infrastructure, matching Table XI.
+	bigness := float64(size) / 10000
+	if bigness > 1 {
+		bigness = 1
+	}
+	c.UsesCNAME = currency == model.CurrencyMonero && g.rng.Float64() < 0.01+0.30*bigness
+	c.UsesProxy = g.rng.Float64() < 0.02+0.20*bigness
+	c.UsesPPI = g.rng.Float64() < 0.05+0.35*bigness
+	c.UsesStockTool = g.rng.Float64() < 0.18
+	if c.UsesPPI {
+		c.PPIBotnet = osint.KnownPPIBotnets[g.rng.Intn(len(osint.KnownPPIBotnets))]
+	}
+	if c.UsesStockTool {
+		tools := []string{"xmrig", "claymore", "niceHash", "xmrig", "claymore", "xmrig", "learnMiner", "ccminer"}
+		c.StockTool = tools[g.rng.Intn(len(tools))]
+	}
+	c.Packer = g.pickPacker()
+
+	// A small number of campaigns correspond to publicly reported operations.
+	if g.rng.Float64() < 0.02 {
+		c.KnownOperation = osint.KnownOperations[g.rng.Intn(len(osint.KnownOperations))]
+	}
+
+	// Pool selection: 1-3 pools for Monero; larger campaigns use more pools.
+	if currency == model.CurrencyMonero {
+		nPools := 1
+		if g.rng.Float64() < 0.35+0.4*bigness {
+			nPools = 2
+		}
+		if g.rng.Float64() < 0.1+0.3*bigness {
+			nPools = 3
+		}
+		seen := map[string]bool{}
+		for len(c.Pools) < nPools {
+			name, _ := g.pickPool()
+			if !seen[name] {
+				seen[name] = true
+				c.Pools = append(c.Pools, name)
+			}
+		}
+	} else if currency == model.CurrencyEmail {
+		c.Pools = []string{"minergate"}
+	}
+
+	// CNAME alias registration.
+	if c.UsesCNAME && len(c.Pools) > 0 {
+		c.CNAMEDomain = fmt.Sprintf("xmr%d.%s", id, randomDomain(g.rng))
+		_, poolDomain := g.poolStratumDomain(c.Pools[0])
+		g.uni.Zone.AddCNAME(c.CNAMEDomain, poolDomain, start)
+	}
+	// Proxy endpoint.
+	if c.UsesProxy {
+		c.ProxyEndpoint = fmt.Sprintf("%d.%d.%d.%d:%d",
+			45+g.rng.Intn(150), g.rng.Intn(255), g.rng.Intn(255), 1+g.rng.Intn(254), 3333+g.rng.Intn(5000))
+	}
+
+	// Known-operation IoCs.
+	if c.KnownOperation != "" {
+		iocDomain := strings.ToLower(c.KnownOperation) + fmt.Sprintf("-%d.c2.example", id)
+		g.uni.OSINT.AddIoC(model.IoC{Type: model.IoCDomain, Value: iocDomain, Operation: c.KnownOperation, Source: "public report"})
+		c.HostingURLs = append(c.HostingURLs, "http://"+iocDomain+"/payload.exe")
+	}
+
+	// Hosting URLs (one or two shared across the campaign's samples).
+	nHosts := 1 + g.rng.Intn(2)
+	for i := 0; i < nHosts; i++ {
+		host, _ := g.pickHosting()
+		c.HostingURLs = append(c.HostingURLs, fmt.Sprintf("http://%s/%s/%s.exe", host, c.Name, randomToken(g.rng, 6)))
+	}
+
+	g.materializeCampaign(c)
+	g.simulateCampaignMining(c)
+	g.uni.Campaigns = append(g.uni.Campaigns, c)
+	return c
+}
+
+// poolStratumDomain returns (name, stratum domain) for a pool name.
+func (g *generator) poolStratumDomain(name string) (string, string) {
+	for _, wp := range g.poolWeights {
+		if wp.name == name {
+			return wp.name, wp.domain
+		}
+	}
+	if p, ok := g.uni.Pools.Get(name); ok && len(p.Domains) > 0 {
+		return name, p.Domains[len(p.Domains)-1]
+	}
+	return name, name + ".example"
+}
+
+// materializeCampaign fabricates the campaign's binary samples, droppers and
+// feed records.
+func (g *generator) materializeCampaign(c *GroundTruthCampaign) {
+	// Sample count: heavy-tailed, correlated with botnet size but noisy.
+	nSamples := 1 + g.rng.Intn(4)
+	if c.BotnetSize > 150 {
+		nSamples += g.rng.Intn(8)
+	}
+	if c.BotnetSize > 1500 {
+		nSamples += 5 + g.rng.Intn(25)
+	}
+	// A dropper in front of ~40% of campaigns.
+	var dropperHash string
+	useDropper := g.rng.Float64() < 0.4
+	stockToolHash := ""
+	if c.UsesStockTool {
+		// The campaign drops one of the known versions of its stock tool
+		// (possibly a slightly modified fork).
+		tools := g.uni.OSINT.StockTools()
+		var candidates []osint.StockTool
+		for _, t := range tools {
+			if t.Name == c.StockTool {
+				candidates = append(candidates, t)
+			}
+		}
+		if len(candidates) > 0 {
+			chosen := candidates[g.rng.Intn(len(candidates))]
+			stockToolHash = chosen.SHA256
+		}
+	}
+
+	for i := 0; i < nSamples; i++ {
+		walletID := c.Wallets[g.rng.Intn(len(c.Wallets))]
+		poolHost, poolPort := g.minerEndpoint(c)
+		algo := pow.AlgorithmAt(g.uni.Network.Epochs, c.Start)
+		behavior := spec.Behavior{
+			IsMiner:  true,
+			PoolHost: poolHost,
+			PoolPort: poolPort,
+			Wallet:   walletID,
+			Password: "x",
+			Agent:    "XMRig/2.14.1",
+			Threads:  1 + g.rng.Intn(8),
+			Algo:     algo,
+			IdleMining: g.rng.Float64() < 0.3,
+			UsesProxy:  c.UsesProxy,
+		}
+		if c.CNAMEDomain != "" {
+			behavior.ContactsDomains = append(behavior.ContactsDomains, c.CNAMEDomain)
+		}
+		if c.KnownOperation != "" {
+			behavior.ContactsDomains = append(behavior.ContactsDomains,
+				strings.ToLower(c.KnownOperation)+fmt.Sprintf("-%d.c2.example", c.ID))
+		}
+		if stockToolHash != "" {
+			behavior.DropsHashes = append(behavior.DropsHashes, stockToolHash)
+			behavior.DownloadsURLs = append(behavior.DownloadsURLs,
+				"https://github.com/"+c.StockTool+"/"+c.StockTool+"/releases/download/latest/"+c.StockTool+".exe")
+		}
+		behavior.CommandLine = minerCommandLine(c, behavior)
+
+		packed := c.Packer != ""
+		builder := binfmt.NewBuilder(g.sampleFormat())
+		builder.AddString(fmt.Sprintf("%s build %d", c.Name, i))
+		if packed {
+			builder.WithPacker(c.Packer)
+			pad := make([]byte, 48*1024+g.rng.Intn(64*1024))
+			g.rng.Read(pad)
+			builder.WithPadding(pad)
+		} else {
+			builder.AddString(behavior.CommandLine)
+		}
+		content := append(builder.Build(), spec.Encode(behavior, packed)...)
+		sha, md5hex := binfmt.Hashes(content)
+
+		firstSeen := randomTimeBetween(g.rng, c.Start, c.End)
+		sample := &model.Sample{
+			SHA256:    sha,
+			MD5:       md5hex,
+			Content:   content,
+			FirstSeen: firstSeen,
+			ITWURLs:   []string{c.HostingURLs[g.rng.Intn(len(c.HostingURLs))]},
+		}
+		if c.CNAMEDomain != "" {
+			sample.ContactedDomains = append(sample.ContactedDomains, c.CNAMEDomain)
+		}
+		c.Samples = append(c.Samples, sha)
+		g.uni.GroundTruthBySample[sha] = c.ID
+		truth := avsim.SampleTruth{Malicious: true, Miner: true, Stealthy: c.Stealthy}
+		if c.PPIBotnet != "" {
+			// Samples spread through a PPI botnet carry the botnet's family
+			// label in a share of the AV verdicts, which is what the OSINT
+			// enrichment keys on.
+			truth.Family = c.PPIBotnet
+		}
+		g.uni.SampleTruths[sha] = truth
+		g.distributeSample(sample)
+
+		if useDropper && dropperHash == "" {
+			dropperHash = g.materializeDropper(c, sha, firstSeen)
+		}
+		if dropperHash != "" {
+			sample.Parents = append(sample.Parents, dropperHash)
+		}
+	}
+}
+
+// materializeDropper fabricates the campaign's ancillary dropper binary.
+func (g *generator) materializeDropper(c *GroundTruthCampaign, dropsHash string, seen time.Time) string {
+	behavior := spec.Behavior{
+		IsMiner:       false,
+		DropsHashes:   []string{dropsHash},
+		DownloadsURLs: []string{c.HostingURLs[0]},
+	}
+	builder := binfmt.NewBuilder(model.FormatPE).
+		AddString("loader for " + c.Name).
+		AddString(c.HostingURLs[0])
+	content := append(builder.Build(), spec.Encode(behavior, false)...)
+	sha, md5hex := binfmt.Hashes(content)
+	sample := &model.Sample{
+		SHA256:        sha,
+		MD5:           md5hex,
+		Content:       content,
+		FirstSeen:     seen.AddDate(0, 0, -g.rng.Intn(14)),
+		ITWURLs:       []string{c.HostingURLs[0]},
+		DroppedHashes: []string{dropsHash},
+	}
+	c.Droppers = append(c.Droppers, sha)
+	g.uni.GroundTruthBySample[sha] = c.ID
+	g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: true, Miner: false, Stealthy: c.Stealthy}
+	g.distributeSample(sample)
+	return sha
+}
+
+// minerEndpoint decides where a campaign's samples point their miners:
+// the proxy, the CNAME alias, or the pool's public stratum domain.
+func (g *generator) minerEndpoint(c *GroundTruthCampaign) (string, int) {
+	if c.UsesProxy && c.ProxyEndpoint != "" {
+		host, port := splitHostPort(c.ProxyEndpoint)
+		return host, port
+	}
+	if c.UsesCNAME && c.CNAMEDomain != "" {
+		return c.CNAMEDomain, 4444
+	}
+	if len(c.Pools) > 0 {
+		_, dom := g.poolStratumDomain(c.Pools[g.rng.Intn(len(c.Pools))])
+		return dom, 3333 + g.rng.Intn(3)*1111
+	}
+	// Solo/private mining: a raw IP.
+	return fmt.Sprintf("%d.%d.%d.%d", 100+g.rng.Intn(100), g.rng.Intn(255), g.rng.Intn(255), 1+g.rng.Intn(254)), 18081
+}
+
+// minerCommandLine renders the command line the sandbox will observe.
+func minerCommandLine(c *GroundTruthCampaign, b spec.Behavior) string {
+	tool := c.StockTool
+	if tool == "" {
+		tool = "miner"
+	}
+	switch c.Currency {
+	case model.CurrencyEmail:
+		return fmt.Sprintf("minergate-cli -user %s -xmr %d", b.Wallet, b.Threads)
+	case model.CurrencyEthereum:
+		return fmt.Sprintf("%s.exe -epool %s -ewal %s -eworker rig%d", tool, b.PoolEndpoint(), b.Wallet, b.Threads)
+	default:
+		return fmt.Sprintf("%s.exe -o stratum+tcp://%s -u %s -p x -t %d --donate-level=1",
+			tool, b.PoolEndpoint(), b.Wallet, b.Threads)
+	}
+}
+
+// distributeSample places a sample into the simulated feeds with realistic
+// overlap: VirusTotal sees most samples, Palo Alto a majority of miners,
+// Hybrid Analysis and VirusShare small slices.
+func (g *generator) distributeSample(s *model.Sample) {
+	inAny := false
+	if g.rng.Float64() < 0.90 {
+		g.uni.VirusTotal.Add(s)
+		inAny = true
+	}
+	if g.rng.Float64() < 0.55 {
+		g.uni.PaloAlto.Add(s)
+		inAny = true
+	}
+	if g.rng.Float64() < 0.04 {
+		g.uni.HybridAnalysis.Add(s)
+		inAny = true
+	}
+	if g.rng.Float64() < 0.02 {
+		g.uni.VirusShare.Add(s)
+		inAny = true
+	}
+	if !inAny {
+		g.uni.VirusTotal.Add(s)
+	}
+}
+
+// simulateCampaignMining drives the pool simulator so the campaign's wallets
+// accumulate the payment history the profit analysis will later query.
+func (g *generator) simulateCampaignMining(c *GroundTruthCampaign) {
+	if c.Currency != model.CurrencyMonero || len(c.Pools) == 0 || len(c.Wallets) == 0 {
+		return
+	}
+	hashrate := float64(c.BotnetSize) * pow.TypicalVictimHashrate
+	// Split the hashrate across wallets and pools.
+	perWallet := hashrate / float64(len(c.Wallets))
+	epochs := g.uni.Network.Epochs
+	startAlgo := pow.AlgorithmAt(epochs, c.Start)
+	algoFor := func(t time.Time) string {
+		if c.MaintainsUpdates {
+			return pow.AlgorithmAt(epochs, t)
+		}
+		return startAlgo
+	}
+	ips := c.BotnetSize
+	if c.UsesProxy {
+		ips = 1
+	}
+	for _, w := range c.Wallets {
+		poolsForWallet := c.Pools
+		perPool := perWallet / float64(len(poolsForWallet))
+		for _, poolName := range poolsForWallet {
+			p, ok := g.uni.Pools.Get(poolName)
+			if !ok {
+				continue
+			}
+			p.SimulateMining(w, ips, perPool, c.Start, c.End, g.cfg.MiningInterval, algoFor)
+			c.ExpectedXMR += p.TotalPaid(w)
+		}
+	}
+	// Recompute expected total (TotalPaid accumulates across the loop above;
+	// summing per iteration double counts when a wallet mines in one pool
+	// only — recompute cleanly).
+	c.ExpectedXMR = 0
+	for _, w := range c.Wallets {
+		for _, poolName := range c.Pools {
+			if p, ok := g.uni.Pools.Get(poolName); ok {
+				c.ExpectedXMR += p.TotalPaid(w)
+			}
+		}
+	}
+}
+
+func (g *generator) sampleFormat() model.ExecutableFormat {
+	switch v := g.rng.Float64(); {
+	case v < 0.88:
+		return model.FormatPE
+	case v < 0.97:
+		return model.FormatELF
+	default:
+		return model.FormatJAR
+	}
+}
+
+func randomTimeBetween(rng *rand.Rand, a, b time.Time) time.Time {
+	if !b.After(a) {
+		return a
+	}
+	d := b.Sub(a)
+	return a.Add(time.Duration(rng.Int63n(int64(d))))
+}
+
+func splitHostPort(ep string) (string, int) {
+	host := ep
+	port := 3333
+	if i := strings.LastIndex(ep, ":"); i > 0 {
+		host = ep[:i]
+		p := 0
+		for _, c := range ep[i+1:] {
+			if c < '0' || c > '9' {
+				p = 0
+				break
+			}
+			p = p*10 + int(c-'0')
+		}
+		if p > 0 {
+			port = p
+		}
+	}
+	return host, port
+}
+
+func randomDomain(rng *rand.Rand) string {
+	words := []string{"alibuf", "freebuf", "honker", "usa-138", "fjhan", "enjoytopic", "windowsupdate", "cdn-telemetry", "hostbill", "mininghub"}
+	tlds := []string{"com", "info", "club", "net", "tk", "ru"}
+	return fmt.Sprintf("%s%d.%s", words[rng.Intn(len(words))], rng.Intn(900)+100, tlds[rng.Intn(len(tlds))])
+}
+
+func randomToken(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,377 @@
+package ecosim
+
+import (
+	"fmt"
+	"time"
+
+	"cryptomining/internal/avsim"
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/model"
+	"cryptomining/internal/pow"
+	"cryptomining/internal/spec"
+)
+
+// generateCaseStudies adds two scripted campaigns mirroring the structure of
+// the paper's case studies (§V): a long-lived, very profitable campaign built
+// around CNAME aliases of several pools whose wallets get banned late in 2018
+// (Freebuf-like), and a medium campaign combining a raw-IP malware host, a
+// domain that doubles as alias and hosting, and a secondary Electroneum
+// wallet (USA-138-like). They provide deterministic fixtures for the Figure
+// 6/7/8 payment-timeline experiments.
+func (g *generator) generateCaseStudies() {
+	g.generateFreebufLike()
+	g.generateUSA138Like()
+}
+
+// caseStudyIDBase keeps case-study campaign IDs clear of the random ones.
+const caseStudyIDBase = 900000
+
+// FreebufCampaignID is the ground-truth ID of the Freebuf-like case study.
+const FreebufCampaignID = caseStudyIDBase + 1
+
+// USA138CampaignID is the ground-truth ID of the USA-138-like case study.
+const USA138CampaignID = caseStudyIDBase + 2
+
+func (g *generator) generateFreebufLike() {
+	start := model.Date(2016, 6, 1)
+	end := g.cfg.End
+	c := &GroundTruthCampaign{
+		ID:               FreebufCampaignID,
+		Name:             "freebuf-like",
+		Currency:         model.CurrencyMonero,
+		BotnetSize:       13000,
+		Start:            start,
+		End:              end,
+		MaintainsUpdates: true,
+		UsesCNAME:        true,
+		CNAMEDomain:      "xt.freebuf-like.info",
+		Pools:            []string{"minexmr", "crypto-pool", "ppxxmr"},
+	}
+	for i := 0; i < 7; i++ {
+		c.Wallets = append(c.Wallets, g.wallets.Monero())
+	}
+	// Three aliases: the characteristic one plus two that point at different
+	// pools over time (the dual-alias behaviour of §IV-E).
+	g.uni.Zone.AddCNAME("xt.freebuf-like.info", "pool.minexmr.com", start)
+	g.uni.Zone.AddCNAME("x.alibuf-like.com", "mine.crypto-pool.fr", start)
+	g.uni.Zone.Retire("x.alibuf-like.com", "CNAME", model.Date(2017, 8, 1))
+	g.uni.Zone.AddCNAME("x.alibuf-like.com", "pool.minexmr.com", model.Date(2017, 8, 2))
+	g.uni.Zone.AddCNAME("xmr.honker-like.info", "pool.minexmr.com", start)
+
+	c.HostingURLs = []string{
+		"http://122.114.99.123/u/miner64.exe",
+		"https://github.com/fb-like/tools/releases/download/v1/st.exe",
+	}
+
+	// Samples: a large set spread over the aliases and wallets.
+	aliases := []string{"xt.freebuf-like.info", "x.alibuf-like.com", "xmr.honker-like.info"}
+	for i := 0; i < 40; i++ {
+		walletID := c.Wallets[i%len(c.Wallets)]
+		alias := aliases[i%len(aliases)]
+		behavior := spec.Behavior{
+			IsMiner: true, PoolHost: alias, PoolPort: 4444,
+			Wallet: walletID, Password: "x", Threads: 2 + i%4,
+			Algo:            pow.AlgorithmAt(g.uni.Network.Epochs, start),
+			ContactsDomains: []string{alias},
+		}
+		behavior.CommandLine = minerCommandLine(c, behavior)
+		builder := binfmt.NewBuilder(model.FormatPE).AddString(fmt.Sprintf("freebuf-like build %d", i))
+		packed := i%3 == 0
+		if packed {
+			builder.WithPacker("UPX")
+			pad := make([]byte, 32*1024)
+			g.rng.Read(pad)
+			builder.WithPadding(pad)
+		} else {
+			builder.AddString(behavior.CommandLine)
+		}
+		content := append(builder.Build(), spec.Encode(behavior, packed)...)
+		sha, md5hex := binfmt.Hashes(content)
+		sample := &model.Sample{
+			SHA256: sha, MD5: md5hex, Content: content,
+			FirstSeen:        randomTimeBetween(g.rng, start, end),
+			ITWURLs:          []string{c.HostingURLs[i%len(c.HostingURLs)]},
+			ContactedDomains: []string{alias},
+		}
+		c.Samples = append(c.Samples, sha)
+		g.uni.GroundTruthBySample[sha] = c.ID
+		g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: true, Miner: true}
+		g.distributeSample(sample)
+	}
+
+	// Mining: multi-pool until the April 2018 fork, then concentrated on
+	// minexmr; two wallets banned in October 2018 after which the operator
+	// moves the load to ppxxmr.
+	hashrate := float64(c.BotnetSize) * pow.TypicalVictimHashrate
+	interval := g.cfg.MiningInterval
+	epochs := g.uni.Network.Epochs
+	current := func(t time.Time) string { return pow.AlgorithmAt(epochs, t) }
+	fork1 := model.Date(2018, 4, 6)
+	banDate := model.Date(2018, 10, 10)
+
+	mine := func(poolName, w string, hr float64, from, to time.Time) {
+		if !to.After(from) {
+			return
+		}
+		if p, ok := g.uni.Pools.Get(poolName); ok {
+			p.SimulateMining(w, 1, hr, from, to, interval, current)
+		}
+	}
+	perWallet := hashrate / float64(len(c.Wallets))
+	for i, w := range c.Wallets {
+		// Phase 1: spread across minexmr, crypto-pool and ppxxmr until the fork.
+		mine("minexmr", w, perWallet*0.5, start, fork1)
+		mine("crypto-pool", w, perWallet*0.3, start, fork1)
+		mine("ppxxmr", w, perWallet*0.2, start, fork1)
+		// Phase 2: all-in on minexmr after the April 2018 fork.
+		if i < 2 {
+			// The two wallets that later get banned.
+			mine("minexmr", w, perWallet, fork1, banDate)
+		} else {
+			mine("minexmr", w, perWallet, fork1, end)
+		}
+	}
+	// Intervention: the first two wallets are reported and banned at minexmr.
+	if p, ok := g.uni.Pools.Get("minexmr"); ok {
+		_ = p.BanWallet(c.Wallets[0], banDate)
+		_ = p.BanWallet(c.Wallets[1], banDate)
+	}
+	// Operator reaction: banned wallets move their residual load to ppxxmr at
+	// a much lower effective rate (the campaign is winding down).
+	for _, w := range c.Wallets[:2] {
+		mine("ppxxmr", w, perWallet*0.3, banDate, end)
+	}
+	for _, w := range c.Wallets {
+		for _, pn := range []string{"minexmr", "crypto-pool", "ppxxmr"} {
+			if p, ok := g.uni.Pools.Get(pn); ok {
+				c.ExpectedXMR += p.TotalPaid(w)
+			}
+		}
+	}
+	g.uni.Campaigns = append(g.uni.Campaigns, c)
+}
+
+func (g *generator) generateUSA138Like() {
+	start := model.Date(2016, 9, 1)
+	end := g.cfg.End
+	c := &GroundTruthCampaign{
+		ID:               USA138CampaignID,
+		Name:             "usa-138-like",
+		Currency:         model.CurrencyMonero,
+		BotnetSize:       13000 / 4,
+		Start:            start,
+		End:              end,
+		MaintainsUpdates: true,
+		UsesCNAME:        true,
+		CNAMEDomain:      "xmr.usa-138-like.com",
+		Pools:            []string{"minexmr", "crypto-pool"},
+	}
+	for i := 0; i < 4; i++ {
+		c.Wallets = append(c.Wallets, g.wallets.Monero())
+	}
+	etnWallet := g.wallets.Electroneum()
+
+	g.uni.Zone.AddCNAME("xmr.usa-138-like.com", "pool.minexmr.com", start)
+	// The 4i7i-style dual-purpose domain: both a crypto-pool alias and a
+	// malware host.
+	g.uni.Zone.AddCNAME("pool.4i7i-like.com", "mine.crypto-pool.fr", start)
+	g.uni.Zone.AddA("4i7i-like.com", "121.12.125.122", start)
+
+	c.HostingURLs = []string{
+		"http://221.9.251.236/11.exe",
+		"http://4i7i-like.com/11.exe",
+	}
+
+	mkSample := func(i int, walletID, poolHost string, port int, packed bool) {
+		behavior := spec.Behavior{
+			IsMiner: true, PoolHost: poolHost, PoolPort: port,
+			Wallet: walletID, Password: "x", Threads: 2,
+			Algo:            pow.AlgorithmAt(g.uni.Network.Epochs, start),
+			ContactsDomains: []string{poolHost},
+		}
+		behavior.CommandLine = minerCommandLine(c, behavior)
+		builder := binfmt.NewBuilder(model.FormatPE).AddString(fmt.Sprintf("usa-138-like build %d", i))
+		if packed {
+			builder.WithPacker("UPX")
+			pad := make([]byte, 24*1024)
+			g.rng.Read(pad)
+			builder.WithPadding(pad)
+		} else {
+			builder.AddString(behavior.CommandLine)
+		}
+		content := append(builder.Build(), spec.Encode(behavior, packed)...)
+		sha, md5hex := binfmt.Hashes(content)
+		sample := &model.Sample{
+			SHA256: sha, MD5: md5hex, Content: content,
+			FirstSeen:        randomTimeBetween(g.rng, start, end),
+			ITWURLs:          []string{c.HostingURLs[i%len(c.HostingURLs)]},
+			ContactedDomains: []string{poolHost},
+		}
+		c.Samples = append(c.Samples, sha)
+		g.uni.GroundTruthBySample[sha] = c.ID
+		g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: true, Miner: true}
+		g.distributeSample(sample)
+	}
+
+	for i := 0; i < 20; i++ {
+		w := c.Wallets[i%len(c.Wallets)]
+		host := "xmr.usa-138-like.com"
+		if i%4 == 0 {
+			host = "pool.4i7i-like.com"
+		}
+		// About a third of the samples are UPX-packed, as in the case study.
+		mkSample(i, w, host, 4444, i%3 == 0)
+	}
+	// A couple of Electroneum samples pointing at an opaque ETN alias.
+	g.uni.Zone.AddCNAME("etn.4i7i-like.com", "etn-pool.example.org", start)
+	for i := 20; i < 23; i++ {
+		mkSample(i, etnWallet, "etn.4i7i-like.com", 3333, false)
+	}
+	c.Wallets = append(c.Wallets, etnWallet)
+
+	// Mining: mostly minexmr after April 2018; the most active wallet is
+	// banned there in late 2018 and the operator returns to crypto-pool,
+	// surviving the October 2018 fork.
+	hashrate := float64(c.BotnetSize) * pow.TypicalVictimHashrate
+	interval := g.cfg.MiningInterval
+	epochs := g.uni.Network.Epochs
+	current := func(t time.Time) string { return pow.AlgorithmAt(epochs, t) }
+	fork1 := model.Date(2018, 4, 6)
+	banDate := model.Date(2018, 11, 20)
+	mine := func(poolName, w string, hr float64, from, to time.Time) {
+		if !to.After(from) {
+			return
+		}
+		if p, ok := g.uni.Pools.Get(poolName); ok {
+			p.SimulateMining(w, 1, hr, from, to, interval, current)
+		}
+	}
+	main := c.Wallets[0]
+	perOther := hashrate * 0.4 / 3
+	mine("crypto-pool", main, hashrate*0.6, start, fork1)
+	mine("minexmr", main, hashrate*0.6, fork1, banDate)
+	if p, ok := g.uni.Pools.Get("minexmr"); ok {
+		_ = p.BanWallet(main, banDate)
+	}
+	mine("crypto-pool", main, hashrate*0.5, banDate, end)
+	for _, w := range c.Wallets[1:4] {
+		mine("crypto-pool", w, perOther, start, end)
+	}
+	for _, w := range c.Wallets {
+		for _, pn := range c.Pools {
+			if p, ok := g.uni.Pools.Get(pn); ok {
+				c.ExpectedXMR += p.TotalPaid(w)
+			}
+		}
+	}
+	g.uni.Campaigns = append(g.uni.Campaigns, c)
+}
+
+// generateMalwareReuse fabricates the Table V situation: a handful of samples
+// first seen in 2012/2013 (before Monero existed) that were later updated to
+// mine Monero via their droppers, two of them sharing one wallet.
+func (g *generator) generateMalwareReuse() {
+	sharedWallet := g.wallets.Monero()
+	otherWallet := g.wallets.Monero()
+	thirdWallet := g.wallets.Monero()
+	years := []struct {
+		year   int
+		wallet string
+	}{
+		{2012, sharedWallet},
+		{2013, sharedWallet},
+		{2013, otherWallet},
+		{2013, thirdWallet},
+	}
+	c := &GroundTruthCampaign{
+		ID:       caseStudyIDBase + 3,
+		Name:     "pre-2014-reuse",
+		Currency: model.CurrencyMonero,
+		Wallets:  []string{sharedWallet, otherWallet, thirdWallet},
+		Start:    model.Date(2012, 3, 1),
+		End:      model.Date(2015, 6, 1),
+		BotnetSize: 60,
+		Pools:    []string{"crypto-pool"},
+	}
+	for i, spec2 := range years {
+		behavior := spec.Behavior{
+			IsMiner: true, PoolHost: "mine.crypto-pool.fr", PoolPort: 3333,
+			Wallet: spec2.wallet, Password: "x", Threads: 1,
+			Algo: "cryptonight",
+		}
+		behavior.CommandLine = minerCommandLine(c, behavior)
+		builder := binfmt.NewBuilder(model.FormatPE).
+			AddString(fmt.Sprintf("legacy dropper %d, self-updating", i)).
+			AddString(behavior.CommandLine)
+		content := append(builder.Build(), spec.Encode(behavior, false)...)
+		sha, md5hex := binfmt.Hashes(content)
+		sample := &model.Sample{
+			SHA256: sha, MD5: md5hex, Content: content,
+			FirstSeen: model.Date(spec2.year, time.Month(3+i), 10),
+			ITWURLs:   []string{"http://legacy-host.ru/loader.exe"},
+		}
+		c.Samples = append(c.Samples, sha)
+		g.uni.GroundTruthBySample[sha] = c.ID
+		g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: true, Miner: true}
+		g.distributeSample(sample)
+	}
+	// Modest mining activity for the shared wallet.
+	if p, ok := g.uni.Pools.Get("crypto-pool"); ok {
+		p.SimulateMining(sharedWallet, 60, 60*pow.TypicalVictimHashrate,
+			model.Date(2014, 6, 1), model.Date(2015, 6, 1), g.cfg.MiningInterval, nil)
+		c.ExpectedXMR = p.TotalPaid(sharedWallet)
+	}
+	g.uni.Campaigns = append(g.uni.Campaigns, c)
+}
+
+// generateNoise adds benign executables (including copies of the stock tools
+// themselves) and non-mining malware to the feeds; the sanity checks must
+// filter them out.
+func (g *generator) generateNoise() {
+	// Benign samples.
+	for i := 0; i < g.cfg.BenignSamples; i++ {
+		builder := binfmt.NewBuilder(g.sampleFormat()).
+			AddString(fmt.Sprintf("benign utility %d", i)).
+			AddString("Copyright (c) Example Software GmbH").
+			AddString("This program cannot be run in DOS mode")
+		content := builder.Build()
+		sha, md5hex := binfmt.Hashes(content)
+		g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: false}
+		g.distributeSample(&model.Sample{
+			SHA256: sha, MD5: md5hex, Content: content,
+			FirstSeen: randomTimeBetween(g.rng, g.cfg.Start, g.cfg.End),
+		})
+	}
+	// The stock tools themselves also circulate in the feeds (they are
+	// whitelisted and must not be counted as malware).
+	for _, tool := range g.uni.OSINT.StockTools() {
+		if g.rng.Float64() < 0.5 {
+			continue
+		}
+		g.uni.SampleTruths[tool.SHA256] = avsim.SampleTruth{Malicious: false, Miner: true}
+		g.distributeSample(&model.Sample{
+			SHA256: tool.SHA256, Content: tool.Content,
+			FirstSeen: randomTimeBetween(g.rng, g.cfg.Start, g.cfg.End),
+			ITWURLs:   []string{"https://github.com/" + tool.Name + "/" + tool.Name + "/releases"},
+		})
+	}
+	// Non-mining malware.
+	for i := 0; i < g.cfg.NonMinerMalware; i++ {
+		behavior := spec.Behavior{
+			IsMiner:         false,
+			ContactsDomains: []string{fmt.Sprintf("c2-%d.%s", i, randomDomain(g.rng))},
+		}
+		builder := binfmt.NewBuilder(g.sampleFormat()).
+			AddString(fmt.Sprintf("bot client %d", i))
+		if g.rng.Float64() < 0.3 {
+			builder.WithPacker("UPX")
+		}
+		content := append(builder.Build(), spec.Encode(behavior, false)...)
+		sha, md5hex := binfmt.Hashes(content)
+		g.uni.SampleTruths[sha] = avsim.SampleTruth{Malicious: true, Miner: false}
+		g.distributeSample(&model.Sample{
+			SHA256: sha, MD5: md5hex, Content: content,
+			FirstSeen: randomTimeBetween(g.rng, g.cfg.Start, g.cfg.End),
+		})
+	}
+}

@@ -1,0 +1,341 @@
+package ecosim
+
+import (
+	"testing"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/spec"
+)
+
+// smallUniverse generates a small ecosystem once per test binary.
+var smallUniverse = Generate(SmallConfig())
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SmallConfig())
+	b := Generate(SmallConfig())
+	if a.Corpus.Len() != b.Corpus.Len() {
+		t.Fatalf("corpus sizes differ: %d vs %d", a.Corpus.Len(), b.Corpus.Len())
+	}
+	ah, bh := a.Corpus.Hashes(), b.Corpus.Hashes()
+	for i := range ah {
+		if ah[i] != bh[i] {
+			t.Fatalf("corpus hash %d differs between runs", i)
+		}
+	}
+	if len(a.Campaigns) != len(b.Campaigns) {
+		t.Fatalf("campaign counts differ")
+	}
+	for i := range a.Campaigns {
+		if a.Campaigns[i].ExpectedXMR != b.Campaigns[i].ExpectedXMR {
+			t.Fatalf("campaign %d expected XMR differs", i)
+		}
+	}
+}
+
+func TestUniverseCounts(t *testing.T) {
+	u := smallUniverse
+	cfg := u.Config
+	wantCampaigns := cfg.MoneroCampaigns + cfg.BitcoinCampaigns + cfg.OtherCurrencyCampaigns +
+		cfg.EmailCampaigns + 3 // two case studies + pre-2014 reuse
+	if len(u.Campaigns) != wantCampaigns {
+		t.Errorf("campaigns = %d, want %d", len(u.Campaigns), wantCampaigns)
+	}
+	if u.Corpus.Len() < 300 {
+		t.Errorf("corpus = %d samples, expected several hundred", u.Corpus.Len())
+	}
+	// Every campaign sample is present in the corpus and the ground-truth map.
+	for _, c := range u.Campaigns {
+		for _, s := range append(append([]string{}, c.Samples...), c.Droppers...) {
+			if _, ok := u.Corpus.Get(s); !ok {
+				t.Fatalf("campaign %d sample %s missing from corpus", c.ID, s)
+			}
+			if u.GroundTruthBySample[s] != c.ID {
+				t.Fatalf("ground truth mapping wrong for %s", s)
+			}
+		}
+	}
+}
+
+func TestCurrencyMixMoneroDominant(t *testing.T) {
+	u := smallUniverse
+	byCurrency := map[model.Currency]int{}
+	for _, c := range u.Campaigns {
+		byCurrency[c.Currency]++
+	}
+	if byCurrency[model.CurrencyMonero] <= byCurrency[model.CurrencyBitcoin] {
+		t.Errorf("Monero campaigns (%d) should outnumber Bitcoin (%d)",
+			byCurrency[model.CurrencyMonero], byCurrency[model.CurrencyBitcoin])
+	}
+	if byCurrency[model.CurrencyEmail] == 0 {
+		t.Error("e-mail (minergate) campaigns should exist")
+	}
+}
+
+func TestHeavyTailedEarnings(t *testing.T) {
+	u := smallUniverse
+	var total float64
+	var earnings []float64
+	for _, c := range u.Campaigns {
+		if c.ExpectedXMR > 0 {
+			earnings = append(earnings, c.ExpectedXMR)
+			total += c.ExpectedXMR
+		}
+	}
+	if len(earnings) < 20 {
+		t.Fatalf("too few earning campaigns: %d", len(earnings))
+	}
+	// Top 10 campaigns should account for a large share of all earnings
+	// (the paper: top-10 mine more than the remaining 2,225 together).
+	var top10 float64
+	sorted := append([]float64(nil), earnings...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for i := 0; i < 10 && i < len(sorted); i++ {
+		top10 += sorted[i]
+	}
+	if top10 < total*0.4 {
+		t.Errorf("top-10 share = %.2f, expected a heavy tail (>40%%)", top10/total)
+	}
+}
+
+func TestCaseStudiesPresent(t *testing.T) {
+	u := smallUniverse
+	var freebuf, usa *GroundTruthCampaign
+	for _, c := range u.Campaigns {
+		switch c.ID {
+		case FreebufCampaignID:
+			freebuf = c
+		case USA138CampaignID:
+			usa = c
+		}
+	}
+	if freebuf == nil || usa == nil {
+		t.Fatal("case-study campaigns missing")
+	}
+	if len(freebuf.Wallets) != 7 || len(freebuf.Samples) != 40 {
+		t.Errorf("freebuf-like: %d wallets / %d samples", len(freebuf.Wallets), len(freebuf.Samples))
+	}
+	if freebuf.ExpectedXMR <= usa.ExpectedXMR {
+		t.Errorf("freebuf-like (%v XMR) should out-earn usa-138-like (%v XMR)",
+			freebuf.ExpectedXMR, usa.ExpectedXMR)
+	}
+	// The banned wallets at minexmr.
+	minexmr, _ := u.Pools.Get("minexmr")
+	if !minexmr.IsBanned(freebuf.Wallets[0]) || !minexmr.IsBanned(freebuf.Wallets[1]) {
+		t.Error("freebuf-like wallets 0 and 1 should be banned at minexmr")
+	}
+	// USA-138-like includes an Electroneum wallet.
+	foundETN := false
+	for _, w := range usa.Wallets {
+		if len(w) == 98 && w[:3] == "etn" {
+			foundETN = true
+		}
+	}
+	if !foundETN {
+		t.Error("usa-138-like should include an Electroneum wallet")
+	}
+}
+
+func TestMalwareReuseCampaign(t *testing.T) {
+	u := smallUniverse
+	var reuse *GroundTruthCampaign
+	for _, c := range u.Campaigns {
+		if c.Name == "pre-2014-reuse" {
+			reuse = c
+		}
+	}
+	if reuse == nil {
+		t.Fatal("pre-2014 reuse campaign missing")
+	}
+	if len(reuse.Samples) != 4 {
+		t.Errorf("reuse samples = %d, want 4", len(reuse.Samples))
+	}
+	pre2014 := 0
+	for _, s := range reuse.Samples {
+		sample, ok := u.Corpus.Get(s)
+		if !ok {
+			t.Fatalf("reuse sample missing from corpus")
+		}
+		if sample.FirstSeen.Year() < 2014 {
+			pre2014++
+		}
+	}
+	if pre2014 != 4 {
+		t.Errorf("pre-2014 first-seen samples = %d, want 4", pre2014)
+	}
+}
+
+func TestCNAMEAliasesRegisteredInZone(t *testing.T) {
+	u := smallUniverse
+	count := 0
+	for _, c := range u.Campaigns {
+		if !c.UsesCNAME || c.CNAMEDomain == "" {
+			continue
+		}
+		count++
+		hist := u.Zone.History(c.CNAMEDomain)
+		if len(hist) == 0 {
+			t.Errorf("campaign %d CNAME %q not registered in the zone", c.ID, c.CNAMEDomain)
+		}
+	}
+	if count < 2 {
+		t.Errorf("expected at least a couple of CNAME campaigns, got %d", count)
+	}
+}
+
+func TestMiningActivityRecordedAtPools(t *testing.T) {
+	u := smallUniverse
+	withEarnings := 0
+	for _, c := range u.Campaigns {
+		if c.Currency != model.CurrencyMonero || len(c.Pools) == 0 {
+			continue
+		}
+		if c.ExpectedXMR > 0 {
+			withEarnings++
+			// At least one wallet has activity at one of the campaign's pools.
+			found := false
+			for _, pn := range c.Pools {
+				p, ok := u.Pools.Get(pn)
+				if !ok {
+					continue
+				}
+				for _, w := range c.Wallets {
+					if p.TotalPaid(w) > 0 {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("campaign %d claims %v XMR but no pool shows payments", c.ID, c.ExpectedXMR)
+			}
+		}
+	}
+	if withEarnings < 20 {
+		t.Errorf("Monero campaigns with earnings = %d, expected more", withEarnings)
+	}
+}
+
+func TestStaleCampaignsStopEarningAtFork(t *testing.T) {
+	u := smallUniverse
+	fork := model.Date(2018, 4, 6)
+	checked := 0
+	for _, c := range u.Campaigns {
+		if c.Currency != model.CurrencyMonero || c.MaintainsUpdates || len(c.Pools) == 0 {
+			continue
+		}
+		if !c.Start.Before(fork) || !c.End.After(fork.AddDate(0, 1, 0)) {
+			continue
+		}
+		// A non-updating campaign spanning the fork: its last accepted share
+		// must not be meaningfully after the fork.
+		for _, pn := range c.Pools {
+			p, ok := u.Pools.Get(pn)
+			if !ok {
+				continue
+			}
+			for _, w := range c.Wallets {
+				st, err := p.Stats(w, u.Config.QueryTime)
+				if err != nil || st.TotalPaid == 0 {
+					continue
+				}
+				checked++
+				if st.LastShare.After(fork.AddDate(0, 1, 0)) {
+					t.Errorf("campaign %d wallet at %s has shares after the fork despite not updating (last share %v)",
+						c.ID, pn, st.LastShare)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no non-updating campaigns spanning the fork in this configuration")
+	}
+}
+
+func TestSampleTruthsCoverCorpus(t *testing.T) {
+	u := smallUniverse
+	missing := 0
+	for _, h := range u.Corpus.Hashes() {
+		if _, ok := u.SampleTruths[h]; !ok {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Errorf("%d corpus samples have no AV ground truth", missing)
+	}
+}
+
+func TestSamplesCarryExtractableBehaviour(t *testing.T) {
+	u := smallUniverse
+	// Every miner sample of every campaign must embed a behaviour blob whose
+	// wallet matches one of the campaign's wallets.
+	checked := 0
+	for _, c := range u.Campaigns {
+		for _, h := range c.Samples {
+			sample, _ := u.Corpus.Get(h)
+			b, ok := spec.Extract(sample.Content)
+			if !ok {
+				t.Fatalf("campaign %d sample %s has no behaviour blob", c.ID, h)
+			}
+			if !b.IsMiner {
+				t.Fatalf("campaign %d sample %s behaviour is not a miner", c.ID, h)
+			}
+			match := false
+			for _, w := range c.Wallets {
+				if b.Wallet == w {
+					match = true
+				}
+			}
+			if !match {
+				t.Fatalf("campaign %d sample %s wallet %q not in campaign wallets", c.ID, h, model.ShortHash(b.Wallet))
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Errorf("checked only %d miner samples", checked)
+	}
+}
+
+func TestScaleConfig(t *testing.T) {
+	base := DefaultConfig()
+	half := base.Scale(0.5)
+	if half.MoneroCampaigns >= base.MoneroCampaigns {
+		t.Errorf("scaled Monero campaigns = %d", half.MoneroCampaigns)
+	}
+	tiny := base.Scale(0.0001)
+	if tiny.MoneroCampaigns < 1 {
+		t.Error("scaling should never drop below 1 campaign")
+	}
+}
+
+func TestDonationWalletsRegistered(t *testing.T) {
+	u := smallUniverse
+	if len(u.DonationWallets) != 13 {
+		t.Errorf("donation wallets = %d, want one per stock tool framework", len(u.DonationWallets))
+	}
+	for _, w := range u.DonationWallets {
+		if _, ok := u.OSINT.IsDonationWallet(w); !ok {
+			t.Errorf("donation wallet %s not whitelisted", model.ShortHash(w))
+		}
+	}
+	if u.OSINT.StockToolCount() < 20 {
+		t.Errorf("stock tool versions = %d, want dozens", u.OSINT.StockToolCount())
+	}
+}
+
+func TestFeedOverlap(t *testing.T) {
+	u := smallUniverse
+	counts := u.Corpus.CountBySource()
+	if counts[model.SourceVirusTotal] <= counts[model.SourcePaloAlto] {
+		t.Errorf("VirusTotal (%d) should be the largest source, Palo Alto %d",
+			counts[model.SourceVirusTotal], counts[model.SourcePaloAlto])
+	}
+	if counts[model.SourceHybridAnalysis] == 0 || counts[model.SourceVirusShare] == 0 {
+		t.Error("smaller feeds should contribute at least a few samples")
+	}
+}

@@ -1,0 +1,71 @@
+// Package entropy computes Shannon entropy over byte sequences.
+//
+// The measurement pipeline uses entropy as a fallback obfuscation detector:
+// when no known packer signature is found, a sample whose content entropy is
+// above a conservative threshold (7.5 bits/byte, where 8.0 is uniform random)
+// is considered obfuscated, as described in §IV-E of the paper.
+package entropy
+
+import "math"
+
+// ObfuscationThreshold is the conservative entropy threshold (bits per byte)
+// above which a binary is considered obfuscated when no packer is identified.
+const ObfuscationThreshold = 7.5
+
+// Shannon returns the Shannon entropy of data in bits per byte, in [0, 8].
+// The entropy of an empty slice is 0.
+func Shannon(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	n := float64(len(data))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// IsObfuscated reports whether data's entropy exceeds ObfuscationThreshold.
+func IsObfuscated(data []byte) bool {
+	return Shannon(data) > ObfuscationThreshold
+}
+
+// Windowed returns the Shannon entropy of each non-overlapping window of the
+// given size. A trailing partial window is included when it is non-empty.
+// Windowed entropy is useful to locate packed regions inside an otherwise
+// low-entropy binary (e.g. a packed payload appended to a small loader stub).
+func Windowed(data []byte, window int) []float64 {
+	if window <= 0 || len(data) == 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < len(data); i += window {
+		end := i + window
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, Shannon(data[i:end]))
+	}
+	return out
+}
+
+// MaxWindowed returns the maximum windowed entropy, or 0 for empty input.
+func MaxWindowed(data []byte, window int) float64 {
+	ws := Windowed(data, window)
+	var m float64
+	for _, w := range ws {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}

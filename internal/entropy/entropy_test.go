@@ -1,0 +1,139 @@
+package entropy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonEmpty(t *testing.T) {
+	if got := Shannon(nil); got != 0 {
+		t.Errorf("Shannon(nil) = %v, want 0", got)
+	}
+	if got := Shannon([]byte{}); got != 0 {
+		t.Errorf("Shannon(empty) = %v, want 0", got)
+	}
+}
+
+func TestShannonUniformSingleByte(t *testing.T) {
+	data := bytes.Repeat([]byte{0x41}, 1024)
+	if got := Shannon(data); got != 0 {
+		t.Errorf("Shannon(repeated byte) = %v, want 0", got)
+	}
+}
+
+func TestShannonTwoSymbols(t *testing.T) {
+	// Equal mix of two symbols has exactly 1 bit of entropy.
+	data := append(bytes.Repeat([]byte{0}, 500), bytes.Repeat([]byte{1}, 500)...)
+	if got := Shannon(data); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Shannon(two symbols) = %v, want 1.0", got)
+	}
+}
+
+func TestShannonAllBytes(t *testing.T) {
+	// One of each byte value: exactly 8 bits.
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if got := Shannon(data); math.Abs(got-8.0) > 1e-9 {
+		t.Errorf("Shannon(all bytes once) = %v, want 8.0", got)
+	}
+}
+
+func TestShannonRandomHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	got := Shannon(data)
+	if got < 7.9 {
+		t.Errorf("Shannon(random 64k) = %v, want > 7.9", got)
+	}
+	if !IsObfuscated(data) {
+		t.Error("IsObfuscated(random 64k) = false, want true")
+	}
+}
+
+func TestIsObfuscatedLowEntropy(t *testing.T) {
+	data := bytes.Repeat([]byte("MOV EAX, EBX; PUSH EBP; "), 1000)
+	if IsObfuscated(data) {
+		t.Error("IsObfuscated(repetitive text) = true, want false")
+	}
+}
+
+func TestShannonBoundsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		h := Shannon(data)
+		return h >= 0 && h <= 8.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShannonPermutationInvariantProperty(t *testing.T) {
+	// Entropy only depends on the byte histogram, not order.
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		shuffled := append([]byte(nil), data...)
+		rng := rand.New(rand.NewSource(42))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return math.Abs(Shannon(data)-Shannon(shuffled)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	low := bytes.Repeat([]byte{0x00}, 1024)
+	rng := rand.New(rand.NewSource(7))
+	high := make([]byte, 1024)
+	rng.Read(high)
+	data := append(append([]byte{}, low...), high...)
+
+	ws := Windowed(data, 1024)
+	if len(ws) != 2 {
+		t.Fatalf("Windowed() returned %d windows, want 2", len(ws))
+	}
+	if ws[0] != 0 {
+		t.Errorf("first window entropy = %v, want 0", ws[0])
+	}
+	if ws[1] < 7.5 {
+		t.Errorf("second window entropy = %v, want > 7.5", ws[1])
+	}
+	if m := MaxWindowed(data, 1024); m != ws[1] {
+		t.Errorf("MaxWindowed = %v, want %v", m, ws[1])
+	}
+}
+
+func TestWindowedPartialAndEdgeCases(t *testing.T) {
+	if got := Windowed(nil, 16); got != nil {
+		t.Errorf("Windowed(nil) = %v, want nil", got)
+	}
+	if got := Windowed([]byte{1, 2, 3}, 0); got != nil {
+		t.Errorf("Windowed(window=0) = %v, want nil", got)
+	}
+	ws := Windowed([]byte{1, 2, 3, 4, 5}, 2)
+	if len(ws) != 3 {
+		t.Errorf("Windowed(5 bytes, window 2) = %d windows, want 3", len(ws))
+	}
+	if MaxWindowed(nil, 8) != 0 {
+		t.Error("MaxWindowed(nil) should be 0")
+	}
+}
+
+func BenchmarkShannon1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shannon(data)
+	}
+}

@@ -1,0 +1,260 @@
+package feeds
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/model"
+)
+
+func mkSample(content string, firstSeen time.Time) *model.Sample {
+	sha, md5hex := binfmt.Hashes([]byte(content))
+	return &model.Sample{
+		SHA256:    sha,
+		MD5:       md5hex,
+		Content:   []byte(content),
+		FirstSeen: firstSeen,
+	}
+}
+
+func TestRepositoryAddFetchList(t *testing.T) {
+	r := NewRepository(model.SourceVirusTotal)
+	s := mkSample("sample one", model.Date(2017, 1, 1))
+	r.Add(s)
+	r.Add(nil)                      // ignored
+	r.Add(&model.Sample{SHA256: ""}) // ignored
+
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if r.Name() != model.SourceVirusTotal {
+		t.Errorf("Name = %v", r.Name())
+	}
+	got, ok := r.Fetch(s.SHA256)
+	if !ok {
+		t.Fatal("Fetch failed")
+	}
+	if len(got.Sources) != 1 || got.Sources[0] != model.SourceVirusTotal {
+		t.Errorf("sources = %v", got.Sources)
+	}
+	// Fetch is case-insensitive on the hash.
+	if _, ok := r.Fetch("DEADBEEF"); ok {
+		t.Error("unknown hash should not fetch")
+	}
+	if list := r.List(); len(list) != 1 || list[0] != s.SHA256 {
+		t.Errorf("List = %v", list)
+	}
+	// The stored sample is a copy: mutating the original has no effect.
+	s.Content[0] = 'X'
+	again, _ := r.Fetch(s.SHA256)
+	if again.Content[0] == 'X' {
+		t.Error("repository should store a deep copy")
+	}
+}
+
+func TestAggregateDeduplicatesAcrossFeeds(t *testing.T) {
+	shared := mkSample("shared sample", model.Date(2016, 5, 1))
+	vtOnly := mkSample("vt exclusive", model.Date(2017, 2, 1))
+	paOnly := mkSample("palo alto exclusive", model.Date(2018, 3, 1))
+
+	vt := NewRepository(model.SourceVirusTotal)
+	vt.Add(shared)
+	vt.Add(vtOnly)
+
+	pa := NewRepository(model.SourcePaloAlto)
+	sharedLater := shared.Clone()
+	sharedLater.FirstSeen = model.Date(2016, 8, 1) // later than VT's
+	sharedLater.ITWURLs = []string{"http://hrtests.ru/payload.exe"}
+	pa.Add(sharedLater)
+	pa.Add(paOnly)
+
+	corpus := Aggregate(vt, pa, nil)
+	if corpus.Len() != 3 {
+		t.Fatalf("corpus size = %d, want 3", corpus.Len())
+	}
+	merged, ok := corpus.Get(shared.SHA256)
+	if !ok {
+		t.Fatal("shared sample missing")
+	}
+	if len(merged.Sources) != 2 {
+		t.Errorf("merged sources = %v", merged.Sources)
+	}
+	if !merged.FirstSeen.Equal(model.Date(2016, 5, 1)) {
+		t.Errorf("merged first seen = %v, want earliest", merged.FirstSeen)
+	}
+	if len(merged.ITWURLs) != 1 {
+		t.Errorf("merged ITW URLs = %v", merged.ITWURLs)
+	}
+	bySource := corpus.CountBySource()
+	if bySource[model.SourceVirusTotal] != 2 || bySource[model.SourcePaloAlto] != 2 {
+		t.Errorf("CountBySource = %v", bySource)
+	}
+}
+
+func TestCorpusAddAndHashes(t *testing.T) {
+	c := NewCorpus()
+	s1 := mkSample("one", model.Date(2017, 1, 1))
+	s2 := mkSample("two", model.Date(2017, 1, 2))
+	c.Add(s1)
+	c.Add(s2)
+	c.Add(s1) // duplicate merge
+	c.Add(nil)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hs := c.Hashes()
+	if len(hs) != 2 || hs[0] > hs[1] {
+		t.Errorf("Hashes = %v", hs)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Error("missing hash should not be found")
+	}
+}
+
+func TestCorpusMergePreservesEarliestAndContent(t *testing.T) {
+	c := NewCorpus()
+	full := mkSample("payload bytes", model.Date(2015, 6, 1))
+	metaOnly := full.Clone()
+	metaOnly.Content = nil
+	metaOnly.FirstSeen = model.Date(2014, 12, 1)
+	metaOnly.Parents = []string{"parenthash"}
+
+	c.Add(metaOnly)
+	c.Add(full)
+	got, _ := c.Get(full.SHA256)
+	if !got.FirstSeen.Equal(model.Date(2014, 12, 1)) {
+		t.Errorf("first seen = %v, want earliest", got.FirstSeen)
+	}
+	if len(got.Content) == 0 {
+		t.Error("content should be filled in from the feed that had it")
+	}
+	if len(got.Parents) != 1 {
+		t.Errorf("parents = %v", got.Parents)
+	}
+}
+
+func newCrawlSite(t *testing.T) (*httptest.Server, []string) {
+	t.Helper()
+	samples := map[string][]byte{
+		"/samples/miner1.exe": []byte("MZ miner one content"),
+		"/samples/miner2.exe": []byte("MZ miner two content"),
+		"/samples/broken.exe": nil, // served as 404
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/index.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "# malware sample index")
+		fmt.Fprintln(w, "/samples/miner1.exe")
+		fmt.Fprintln(w, "/samples/miner2.exe")
+		fmt.Fprintln(w, "/samples/broken.exe")
+		fmt.Fprintln(w, "")
+	})
+	mux.HandleFunc("/samples/", func(w http.ResponseWriter, r *http.Request) {
+		content, ok := samples[r.URL.Path]
+		if !ok || content == nil {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write(content)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	var hashes []string
+	for _, content := range [][]byte{samples["/samples/miner1.exe"], samples["/samples/miner2.exe"]} {
+		h, _ := binfmt.Hashes(content)
+		hashes = append(hashes, h)
+	}
+	return srv, hashes
+}
+
+func TestCrawlerFetchesSamples(t *testing.T) {
+	srv, hashes := newCrawlSite(t)
+	cr := NewCrawler(srv.Client())
+	cr.Clock = func() time.Time { return model.Date(2018, 7, 1) }
+	repo, failures, err := cr.Crawl(srv.URL)
+	if err != nil {
+		t.Fatalf("Crawl error: %v", err)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1 (the broken sample)", failures)
+	}
+	if repo.Len() != 2 {
+		t.Fatalf("crawled %d samples, want 2", repo.Len())
+	}
+	for _, h := range hashes {
+		s, ok := repo.Fetch(h)
+		if !ok {
+			t.Fatalf("crawled sample %s missing", h)
+		}
+		if len(s.ITWURLs) != 1 || s.Sources[0] != model.SourceCrawler {
+			t.Errorf("crawled sample metadata = %+v", s)
+		}
+		if !s.FirstSeen.Equal(model.Date(2018, 7, 1)) {
+			t.Errorf("first seen = %v", s.FirstSeen)
+		}
+	}
+}
+
+func TestCrawlerIndexErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	cr := NewCrawler(srv.Client())
+	if _, _, err := cr.Crawl(srv.URL); err == nil {
+		t.Error("missing index should be an error")
+	}
+	if _, _, err := cr.Crawl("http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable site should be an error")
+	}
+}
+
+func TestCrawlerAbsoluteURLsAndSizeLimit(t *testing.T) {
+	var absoluteTarget *httptest.Server
+	absoluteTarget = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("MZ absolute sample"))
+	}))
+	defer absoluteTarget.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/index.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, absoluteTarget.URL+"/hosted.exe")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cr := NewCrawler(srv.Client())
+	cr.MaxSampleSize = 4 // truncates the download
+	repo, failures, err := cr.Crawl(srv.URL)
+	if err != nil || failures != 0 {
+		t.Fatalf("Crawl = %v, failures %d", err, failures)
+	}
+	if repo.Len() != 1 {
+		t.Fatalf("repo len = %d", repo.Len())
+	}
+	for _, h := range repo.List() {
+		s, _ := repo.Fetch(h)
+		if len(s.Content) != 4 {
+			t.Errorf("size limit not applied: %d bytes", len(s.Content))
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	vt := NewRepository(model.SourceVirusTotal)
+	pa := NewRepository(model.SourcePaloAlto)
+	for i := 0; i < 2000; i++ {
+		s := mkSample(fmt.Sprintf("sample-%d", i), model.Date(2017, 1, 1))
+		vt.Add(s)
+		if i%2 == 0 {
+			pa.Add(s)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Aggregate(vt, pa)
+	}
+}

@@ -1,0 +1,279 @@
+// Package fuzzyhash implements context-triggered piecewise hashing (CTPH),
+// a similarity-preserving hash in the style popularized by ssdeep.
+//
+// The measurement pipeline uses fuzzy hashing to attribute samples dropped by
+// crypto-mining malware to stock mining tools (xmrig, claymore, ...), even
+// when miscreants fork the tool and make minor modifications such as removing
+// donation code (§III-E, Table IX). Two binaries that differ in a few regions
+// produce signatures whose distance is small; the paper uses a conservative
+// distance threshold of 0.1.
+package fuzzyhash
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Alphabet used to encode piece hashes, 64 symbols as in base64.
+const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+const (
+	// minBlockSize is the smallest context-trigger block size.
+	minBlockSize = 3
+	// signatureLength is the target number of pieces per signature.
+	signatureLength = 64
+	// windowSize is the rolling-hash window.
+	windowSize = 7
+)
+
+// DefaultThreshold is the conservative distance threshold used by the paper
+// for stock-tool attribution: distances at or below it count as a match.
+const DefaultThreshold = 0.1
+
+// Signature is a context-triggered piecewise hash: a block size and two piece
+// strings computed at block size and twice the block size, rendered as
+// "blocksize:pieces:pieces2".
+type Signature struct {
+	BlockSize int
+	Pieces    string
+	Pieces2   string
+}
+
+// String renders the signature in the canonical "bs:p1:p2" form.
+func (s Signature) String() string {
+	return fmt.Sprintf("%d:%s:%s", s.BlockSize, s.Pieces, s.Pieces2)
+}
+
+// Parse parses a signature in "bs:p1:p2" form.
+func Parse(s string) (Signature, error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return Signature{}, errors.New("fuzzyhash: malformed signature, want bs:pieces:pieces2")
+	}
+	bs, err := strconv.Atoi(parts[0])
+	if err != nil || bs < minBlockSize {
+		return Signature{}, fmt.Errorf("fuzzyhash: invalid block size %q", parts[0])
+	}
+	return Signature{BlockSize: bs, Pieces: parts[1], Pieces2: parts[2]}, nil
+}
+
+// rollingHash is the Adler-like rolling hash that triggers piece boundaries.
+type rollingHash struct {
+	window [windowSize]byte
+	h1     uint32 // sum of window bytes
+	h2     uint32 // weighted sum
+	h3     uint32 // shift/xor mix
+	n      uint32 // total bytes seen
+}
+
+func (r *rollingHash) update(c byte) uint32 {
+	idx := r.n % windowSize
+	old := r.window[idx]
+	r.window[idx] = c
+	r.n++
+	r.h2 -= r.h1
+	r.h2 += windowSize * uint32(c)
+	r.h1 += uint32(c)
+	r.h1 -= uint32(old)
+	r.h3 <<= 5
+	r.h3 ^= uint32(c)
+	return r.h1 + r.h2 + r.h3
+}
+
+// pieceHash is a simple FNV-1a accumulated per piece.
+type pieceHash uint32
+
+const (
+	fnvOffset pieceHash = 2166136261
+	fnvPrime  pieceHash = 16777619
+)
+
+func (p pieceHash) update(c byte) pieceHash {
+	return (p ^ pieceHash(c)) * fnvPrime
+}
+
+func (p pieceHash) symbol() byte {
+	return alphabet[uint32(p)%64]
+}
+
+// chooseBlockSize picks the initial context-trigger block size for n bytes so
+// that the expected signature length is close to signatureLength.
+func chooseBlockSize(n int) int {
+	bs := minBlockSize
+	for bs*signatureLength < n {
+		bs *= 2
+	}
+	return bs
+}
+
+// Hash computes the CTPH signature of data. Hashing empty data is valid and
+// yields an empty-piece signature.
+func Hash(data []byte) Signature {
+	bs := chooseBlockSize(len(data))
+	for {
+		sig := hashWithBlockSize(data, bs)
+		// If the signature came out too short (data had too few trigger
+		// points), retry with a smaller block size, as ssdeep does.
+		if len(sig.Pieces) < signatureLength/4 && bs > minBlockSize {
+			bs /= 2
+			continue
+		}
+		return sig
+	}
+}
+
+func hashWithBlockSize(data []byte, bs int) Signature {
+	var rh rollingHash
+	p1 := fnvOffset
+	p2 := fnvOffset
+	var pieces, pieces2 []byte
+	for _, c := range data {
+		h := rh.update(c)
+		p1 = p1.update(c)
+		p2 = p2.update(c)
+		if h%uint32(bs) == uint32(bs-1) {
+			if len(pieces) < signatureLength-1 {
+				pieces = append(pieces, p1.symbol())
+				p1 = fnvOffset
+			}
+		}
+		if h%uint32(bs*2) == uint32(bs*2-1) {
+			if len(pieces2) < signatureLength/2-1 {
+				pieces2 = append(pieces2, p2.symbol())
+				p2 = fnvOffset
+			}
+		}
+	}
+	if len(data) > 0 {
+		pieces = append(pieces, p1.symbol())
+		pieces2 = append(pieces2, p2.symbol())
+	}
+	return Signature{BlockSize: bs, Pieces: string(pieces), Pieces2: string(pieces2)}
+}
+
+// Compare returns a similarity score in [0, 100] between two signatures,
+// where 100 means (nearly) identical content and 0 means no measurable
+// similarity. Signatures whose block sizes differ by more than a factor of two
+// are incomparable and score 0.
+func Compare(a, b Signature) int {
+	if a.BlockSize == b.BlockSize {
+		s1 := scoreStrings(a.Pieces, b.Pieces, a.BlockSize)
+		s2 := scoreStrings(a.Pieces2, b.Pieces2, a.BlockSize*2)
+		return maxInt(s1, s2)
+	}
+	if a.BlockSize == b.BlockSize*2 {
+		return scoreStrings(a.Pieces, b.Pieces2, a.BlockSize)
+	}
+	if b.BlockSize == a.BlockSize*2 {
+		return scoreStrings(a.Pieces2, b.Pieces, b.BlockSize)
+	}
+	return 0
+}
+
+// Distance converts the Compare similarity into a distance in [0, 1]; 0 means
+// identical, 1 means unrelated. This is the quantity thresholded at 0.1 for
+// stock mining tool attribution.
+func Distance(a, b Signature) float64 {
+	return 1 - float64(Compare(a, b))/100
+}
+
+// Match reports whether two signatures are within the given distance
+// threshold. A non-positive threshold uses DefaultThreshold.
+func Match(a, b Signature, threshold float64) bool {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return Distance(a, b) <= threshold
+}
+
+// HashBytesMatch is a convenience wrapper that hashes both byte slices and
+// reports whether they match at the given threshold.
+func HashBytesMatch(a, b []byte, threshold float64) bool {
+	return Match(Hash(a), Hash(b), threshold)
+}
+
+// scoreStrings scores two piece strings. It requires a common substring of at
+// least 7 symbols (to suppress coincidental matches, as ssdeep does), then
+// maps the edit distance to a 0-100 scale.
+func scoreStrings(s1, s2 string, _ int) int {
+	if s1 == "" || s2 == "" {
+		if s1 == s2 {
+			return 100
+		}
+		return 0
+	}
+	if s1 == s2 {
+		return 100
+	}
+	if !hasCommonSubstring(s1, s2, 7) {
+		return 0
+	}
+	d := editDistance(s1, s2)
+	// Normalize: rescale edit distance to the combined length.
+	score := 100 * (1 - float64(d)/float64(len(s1)+len(s2)))
+	if score < 0 {
+		score = 0
+	}
+	return int(score)
+}
+
+// hasCommonSubstring reports whether s1 and s2 share a common substring of at
+// least n symbols.
+func hasCommonSubstring(s1, s2 string, n int) bool {
+	if len(s1) < n || len(s2) < n {
+		return false
+	}
+	seen := make(map[string]bool, len(s1))
+	for i := 0; i+n <= len(s1); i++ {
+		seen[s1[i:i+n]] = true
+	}
+	for i := 0; i+n <= len(s2); i++ {
+		if seen[s2[i:i+n]] {
+			return true
+		}
+	}
+	return false
+}
+
+// editDistance computes the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,473 @@
+// Package model defines the shared data types used across the crypto-mining
+// malware measurement pipeline: malware samples, per-sample extraction records
+// (Table I of the paper), per-wallet mining statistics (Table II), payments,
+// campaigns and indicators of compromise.
+//
+// Keeping these types in a leaf package lets every substrate (feeds, sandbox,
+// static analysis, pools, campaign aggregation, profit analysis) exchange data
+// without import cycles.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Currency identifies a cryptocurrency (or the absence of one) associated with
+// a mining identifier extracted from a sample.
+type Currency string
+
+// Currencies observed in the paper's dataset (Table IV).
+const (
+	CurrencyUnknown     Currency = "unknown"
+	CurrencyMonero      Currency = "XMR"
+	CurrencyBitcoin     Currency = "BTC"
+	CurrencyZcash       Currency = "ZEC"
+	CurrencyElectroneum Currency = "ETN"
+	CurrencyEthereum    Currency = "ETH"
+	CurrencyAeon        Currency = "AEON"
+	CurrencySumokoin    Currency = "SUMO"
+	CurrencyIntense     Currency = "ITNS"
+	CurrencyTurtlecoin  Currency = "TRTL"
+	CurrencyBytecoin    Currency = "BCN"
+	CurrencyLitecoin    Currency = "LTC"
+	CurrencyDogecoin    Currency = "DOGE"
+	CurrencyEmail       Currency = "email" // identifier is an e-mail address, not a wallet
+)
+
+// ExecutableFormat is the container format of a binary sample.
+type ExecutableFormat string
+
+// Executable formats the sanity checks accept (the paper keeps PE, ELF and JAR).
+const (
+	FormatUnknown ExecutableFormat = "unknown"
+	FormatPE      ExecutableFormat = "PE"
+	FormatELF     ExecutableFormat = "ELF"
+	FormatJAR     ExecutableFormat = "JAR"
+	FormatZIP     ExecutableFormat = "ZIP"
+	FormatScript  ExecutableFormat = "script"
+	FormatHTML    ExecutableFormat = "HTML"
+)
+
+// SampleType distinguishes binaries with mining capability from the auxiliary
+// binaries (droppers, loaders, bot clients) used to run a mining operation.
+type SampleType string
+
+const (
+	// TypeMiner marks a sample with mining capability and an associated
+	// identifier and pool endpoint.
+	TypeMiner SampleType = "Miner"
+	// TypeAncillary marks droppers, loaders and other auxiliary binaries.
+	TypeAncillary SampleType = "Ancillary"
+)
+
+// Source names a malware feed that contributed a sample.
+type Source string
+
+// Feed sources used in the paper (Table III).
+const (
+	SourceVirusTotal     Source = "VirusTotal"
+	SourcePaloAlto       Source = "PaloAltoNetworks"
+	SourceHybridAnalysis Source = "HybridAnalysis"
+	SourceVirusShare     Source = "VirusShare"
+	SourceCrawler        Source = "Crawler"
+)
+
+// AnalysisResource names the kind of analysis that produced an observation.
+type AnalysisResource string
+
+// Analysis resources reported in Table III.
+const (
+	ResourceSandbox AnalysisResource = "Sandbox"
+	ResourceNetwork AnalysisResource = "Network"
+	ResourceBinary  AnalysisResource = "Binary"
+)
+
+// Sample is a raw malware sample as delivered by a feed: content plus the feed
+// metadata the paper relies on (first-seen date, in-the-wild URLs, parents).
+type Sample struct {
+	// SHA256 is the hex-encoded SHA-256 of Content and the primary key for
+	// the sample throughout the pipeline.
+	SHA256 string
+	// MD5 is the hex-encoded MD5, kept because OSINT IoCs frequently use it.
+	MD5 string
+	// Content is the raw binary content of the sample.
+	Content []byte
+	// Sources lists every feed the sample was observed in.
+	Sources []Source
+	// FirstSeen is the earliest date the sample was observed in the wild.
+	FirstSeen time.Time
+	// ITWURLs are URLs hosting or contacted by the sample ("in the wild").
+	ITWURLs []string
+	// Parents are SHA256 hashes of samples known to have dropped this one.
+	Parents []string
+	// ContactedDomains are domains the sample resolved or contacted
+	// according to feed metadata.
+	ContactedDomains []string
+	// DroppedHashes are SHA256 hashes of files this sample dropped.
+	DroppedHashes []string
+}
+
+// Clone returns a deep copy of the sample.
+func (s *Sample) Clone() *Sample {
+	c := *s
+	c.Content = append([]byte(nil), s.Content...)
+	c.Sources = append([]Source(nil), s.Sources...)
+	c.ITWURLs = append([]string(nil), s.ITWURLs...)
+	c.Parents = append([]string(nil), s.Parents...)
+	c.ContactedDomains = append([]string(nil), s.ContactedDomains...)
+	c.DroppedHashes = append([]string(nil), s.DroppedHashes...)
+	return &c
+}
+
+// AVVerdict is the output of one antivirus engine for one sample.
+type AVVerdict struct {
+	// Vendor is the engine name.
+	Vendor string
+	// Detected reports whether the engine flagged the sample as malicious.
+	Detected bool
+	// Label is the family label the engine assigned (empty when not detected).
+	Label string
+}
+
+// AVReport aggregates the verdicts of all engines for one sample, mirroring a
+// VirusTotal report.
+type AVReport struct {
+	SHA256    string
+	Verdicts  []AVVerdict
+	QueriedAt time.Time
+}
+
+// Positives returns the number of engines that flagged the sample.
+func (r *AVReport) Positives() int {
+	n := 0
+	for _, v := range r.Verdicts {
+		if v.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// MinerLabels returns the number of engines whose label mentions mining
+// (e.g. "CoinMiner", "Miner", "BitCoinMiner").
+func (r *AVReport) MinerLabels() int {
+	n := 0
+	for _, v := range r.Verdicts {
+		if !v.Detected {
+			continue
+		}
+		l := strings.ToLower(v.Label)
+		if strings.Contains(l, "miner") || strings.Contains(l, "mining") {
+			n++
+		}
+	}
+	return n
+}
+
+// Record is the per-sample extraction record; it mirrors Table I of the paper.
+type Record struct {
+	SHA256    string           // hash value of the sample
+	Pool      string           // normalized name of the mining pool
+	URLPool   string           // URL (host:port) to which the sample mines
+	User      string           // identifier used to mine in the pool
+	Pass      string           // password used to authenticate in the pool
+	NThreads  int              // number of CPU threads used for mining
+	Agent     string           // user agent used for mining
+	DstIP     string           // IP to which the sample mines
+	DstPort   int              // port used for mining
+	DNSRR     []string         // DNS resolutions observed
+	Sources   []Source         // data feeds from which the data was obtained
+	FirstSeen time.Time        // date when the sample was first seen
+	ITWURLs   []string         // URLs hosting or contacted by the sample
+	Packer    string           // associated packer used for obfuscation, if any
+	Positives int              // number of positive detections by antivirus
+	Type      SampleType       // Miner or Ancillary
+	Currency  Currency         // currency derived from the identifier format
+	Format    ExecutableFormat // executable container format
+	Entropy   float64          // Shannon entropy of the binary content
+	Parents   []string         // SHA256 of dropper ancestors
+	Dropped   []string         // SHA256 of dropped files
+	Resources []AnalysisResource
+	// ProxyEndpoint is set (host:port) when the sample mines through a
+	// proxy rather than directly against a known pool.
+	ProxyEndpoint string
+	// CNAMEAlias is set when URLPool is a domain alias (CNAME) that resolves
+	// to a known mining pool; it holds the aliased pool name.
+	CNAMEAlias string
+	// StockTool is set when the sample (or a file it drops) matches a known
+	// stock mining tool by exact or fuzzy hash; it holds the tool name.
+	StockTool string
+	// StockToolVersion is the matched version of the stock tool, if known.
+	StockToolVersion string
+	// Obfuscated reports whether the sample is packed or has entropy above
+	// the obfuscation threshold.
+	Obfuscated bool
+	// PPIBotnet is set when OSINT links the sample to a Pay-Per-Install
+	// botnet (Virut, Ramnit, Nitol).
+	PPIBotnet string
+	// KnownOperation is set when OSINT IoCs link the sample to a publicly
+	// reported mining operation (Photominer, Adylkuzz, ...).
+	KnownOperation string
+}
+
+// HasIdentifier reports whether an identifier (wallet or e-mail) was extracted.
+func (r *Record) HasIdentifier() bool { return r.User != "" }
+
+// Payment is one reward payment from a pool to a wallet.
+type Payment struct {
+	Pool      string
+	Wallet    string
+	Amount    float64 // in the pool's native currency (XMR for Monero pools)
+	USD       float64 // converted with the exchange rate at Timestamp
+	Timestamp time.Time
+}
+
+// WalletStats mirrors Table II: the public statistics a transparent pool
+// exposes for one wallet.
+type WalletStats struct {
+	Pool        string
+	User        string
+	Hashes      uint64
+	Hashrate    float64
+	LastShare   time.Time
+	Balance     float64
+	TotalPaid   float64
+	NumPayments int
+	DateQuery   time.Time
+	USD         float64
+	Payments    []Payment
+	// HistoricHashrate holds (timestamp, hashrate) samples when the pool
+	// exposes historical data (the paper has this only for minexmr).
+	HistoricHashrate []HashratePoint
+	// Banned reports whether the pool has banned this wallet.
+	Banned bool
+	// BannedAt is the ban timestamp when Banned is true.
+	BannedAt time.Time
+}
+
+// HashratePoint is one point of a historical hashrate series.
+type HashratePoint struct {
+	Timestamp time.Time
+	Hashrate  float64
+}
+
+// IoCType classifies an indicator of compromise.
+type IoCType string
+
+// IoC types gathered from OSINT reports.
+const (
+	IoCHash   IoCType = "hash"
+	IoCDomain IoCType = "domain"
+	IoCIP     IoCType = "ip"
+	IoCWallet IoCType = "wallet"
+	IoCURL    IoCType = "url"
+)
+
+// IoC is a single indicator of compromise attributed to a known operation.
+type IoC struct {
+	Type      IoCType
+	Value     string
+	Operation string // e.g. "Photominer", "Adylkuzz"
+	Source    string // OSINT report reference
+}
+
+// EdgeKind labels why two nodes of the campaign graph are connected; these are
+// the grouping features of §III-E.
+type EdgeKind string
+
+// Grouping features used by the campaign aggregation.
+const (
+	EdgeSameIdentifier EdgeKind = "same-identifier"
+	EdgeAncestor       EdgeKind = "ancestor"
+	EdgeHosting        EdgeKind = "hosting"
+	EdgeKnownCampaign  EdgeKind = "known-campaign"
+	EdgeCNAMEAlias     EdgeKind = "cname-alias"
+	EdgeProxy          EdgeKind = "proxy"
+)
+
+// NodeKind labels a node of the campaign graph.
+type NodeKind string
+
+// Node kinds in the campaign graph.
+const (
+	NodeSample    NodeKind = "sample"
+	NodeWallet    NodeKind = "wallet"
+	NodeHost      NodeKind = "host"
+	NodeDomain    NodeKind = "domain"
+	NodeProxy     NodeKind = "proxy"
+	NodeOperation NodeKind = "operation"
+	NodeAncillary NodeKind = "ancillary"
+)
+
+// Campaign is one connected component of the aggregation graph, enriched with
+// infrastructure attribution and profit figures.
+type Campaign struct {
+	ID int
+	// Samples are SHA256 hashes of the miner samples in the campaign.
+	Samples []string
+	// Ancillaries are SHA256 hashes of auxiliary samples in the campaign.
+	Ancillaries []string
+	// Wallets are the mining identifiers accumulated by the campaign.
+	Wallets []string
+	// Currencies observed across the campaign's wallets.
+	Currencies []Currency
+	// Pools the campaign mined at (normalized pool names).
+	Pools []string
+	// CNAMEs are domain aliases used to reach pools.
+	CNAMEs []string
+	// Proxies are proxy endpoints used by the campaign's samples.
+	Proxies []string
+	// HostingDomains are domains that hosted the campaign's samples.
+	HostingDomains []string
+	// PPIBotnets are Pay-Per-Install services observed spreading the samples.
+	PPIBotnets []string
+	// StockTools are stock mining frameworks attributed by (fuzzy) hashing.
+	StockTools []string
+	// KnownOperations are publicly reported operations matched by IoCs.
+	KnownOperations []string
+	// UsesObfuscation reports whether >=80% of the samples are obfuscated.
+	UsesObfuscation bool
+	// FirstSeen and LastSeen bound the campaign's activity period.
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// XMRMined is the total Monero paid to the campaign's wallets.
+	XMRMined float64
+	// USDEarned is the dynamic-rate USD equivalent of XMRMined.
+	USDEarned float64
+	// PaymentCount is the number of individual payments observed.
+	PaymentCount int
+	// Active reports whether the campaign received payments in the final
+	// observation window of the measurement.
+	Active bool
+	// GroundTruthIDs holds the ecosystem-simulator campaign IDs represented
+	// in this aggregate. Used only for validation; empty on real data.
+	GroundTruthIDs []int
+}
+
+// DurationYears returns the number of whole years between FirstSeen and LastSeen.
+func (c *Campaign) DurationYears() int {
+	if c.FirstSeen.IsZero() || c.LastSeen.IsZero() || c.LastSeen.Before(c.FirstSeen) {
+		return 0
+	}
+	return int(c.LastSeen.Sub(c.FirstSeen).Hours() / (24 * 365))
+}
+
+// ProfitBucket classifies a campaign by the amount of XMR mined, matching the
+// column groups of Table XI.
+type ProfitBucket string
+
+// Profit buckets of Table XI and Figure 5.
+const (
+	BucketUnder1      ProfitBucket = "<1"
+	BucketUnder100    ProfitBucket = "<100"
+	Bucket100To1K     ProfitBucket = "[100-1k)"
+	Bucket1KTo10K     ProfitBucket = "[1k-10k)"
+	BucketOver10K     ProfitBucket = ">=10k"
+	BucketNoEarnings  ProfitBucket = "none"
+	BucketUnknownPool ProfitBucket = "opaque"
+)
+
+// BucketFor returns the Table XI profit bucket for an XMR amount.
+func BucketFor(xmr float64) ProfitBucket {
+	switch {
+	case xmr >= 10000:
+		return BucketOver10K
+	case xmr >= 1000:
+		return Bucket1KTo10K
+	case xmr >= 100:
+		return Bucket100To1K
+	default:
+		return BucketUnder100
+	}
+}
+
+// FineBucketFor returns the Figure 5 bucket (which splits <1 from [1,100)).
+func FineBucketFor(xmr float64) ProfitBucket {
+	switch {
+	case xmr >= 10000:
+		return BucketOver10K
+	case xmr >= 1000:
+		return Bucket1KTo10K
+	case xmr >= 100:
+		return Bucket100To1K
+	case xmr >= 1:
+		return ProfitBucket("[1-100)")
+	default:
+		return BucketUnder1
+	}
+}
+
+// SortStrings sorts and deduplicates a string slice in place, returning the
+// deduplicated slice. Convenient for the many "set of names" fields above.
+func SortStrings(in []string) []string {
+	if len(in) == 0 {
+		return in
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ShortHash abbreviates a hash or wallet for display, e.g. "496ePyKvPB...".
+func ShortHash(s string) string {
+	if len(s) <= 10 {
+		return s
+	}
+	return s[:10] + "..."
+}
+
+// Date builds a UTC timestamp at midnight for the given date. It keeps test
+// fixtures and the ecosystem simulator readable.
+func Date(year int, month time.Month, day int) time.Time {
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+}
+
+// FormatXMR renders an XMR amount with thousands separators and no decimals
+// for table output (e.g. 163756 -> "163,756").
+func FormatXMR(v float64) string {
+	return addThousands(fmt.Sprintf("%.0f", v))
+}
+
+// FormatUSD renders a USD amount in the compact style used by Table VIII
+// (e.g. 20_000_000 -> "20 M", 323_000 -> "323 K").
+func FormatUSD(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.0f M", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0f K", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func addThousands(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+	}
+	for i := pre; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	out := b.String()
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAVReportPositives(t *testing.T) {
+	r := AVReport{
+		SHA256: "abc",
+		Verdicts: []AVVerdict{
+			{Vendor: "A", Detected: true, Label: "Trojan.CoinMiner"},
+			{Vendor: "B", Detected: false},
+			{Vendor: "C", Detected: true, Label: "Win32.BitCoinMiner"},
+			{Vendor: "D", Detected: true, Label: "Generic.Malware"},
+		},
+	}
+	if got := r.Positives(); got != 3 {
+		t.Errorf("Positives() = %d, want 3", got)
+	}
+	if got := r.MinerLabels(); got != 2 {
+		t.Errorf("MinerLabels() = %d, want 2", got)
+	}
+}
+
+func TestAVReportEmpty(t *testing.T) {
+	var r AVReport
+	if r.Positives() != 0 || r.MinerLabels() != 0 {
+		t.Errorf("empty report should have zero positives and miner labels")
+	}
+}
+
+func TestRecordHasIdentifier(t *testing.T) {
+	r := Record{}
+	if r.HasIdentifier() {
+		t.Error("empty record should not have identifier")
+	}
+	r.User = "4AbCd"
+	if !r.HasIdentifier() {
+		t.Error("record with User should have identifier")
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	tests := []struct {
+		xmr  float64
+		want ProfitBucket
+	}{
+		{0, BucketUnder100},
+		{0.5, BucketUnder100},
+		{99.99, BucketUnder100},
+		{100, Bucket100To1K},
+		{999, Bucket100To1K},
+		{1000, Bucket1KTo10K},
+		{9999.9, Bucket1KTo10K},
+		{10000, BucketOver10K},
+		{163756, BucketOver10K},
+	}
+	for _, tt := range tests {
+		if got := BucketFor(tt.xmr); got != tt.want {
+			t.Errorf("BucketFor(%v) = %v, want %v", tt.xmr, got, tt.want)
+		}
+	}
+}
+
+func TestFineBucketFor(t *testing.T) {
+	tests := []struct {
+		xmr  float64
+		want ProfitBucket
+	}{
+		{0.2, BucketUnder1},
+		{1, ProfitBucket("[1-100)")},
+		{50, ProfitBucket("[1-100)")},
+		{100, Bucket100To1K},
+		{5000, Bucket1KTo10K},
+		{20000, BucketOver10K},
+	}
+	for _, tt := range tests {
+		if got := FineBucketFor(tt.xmr); got != tt.want {
+			t.Errorf("FineBucketFor(%v) = %v, want %v", tt.xmr, got, tt.want)
+		}
+	}
+}
+
+func TestCampaignDurationYears(t *testing.T) {
+	c := Campaign{
+		FirstSeen: Date(2014, time.August, 30),
+		LastSeen:  Date(2019, time.April, 1),
+	}
+	if got := c.DurationYears(); got != 4 {
+		t.Errorf("DurationYears() = %d, want 4", got)
+	}
+	// Zero / inverted ranges clamp to zero.
+	c2 := Campaign{}
+	if c2.DurationYears() != 0 {
+		t.Error("zero campaign should have 0 years")
+	}
+	c3 := Campaign{FirstSeen: Date(2019, 1, 1), LastSeen: Date(2018, 1, 1)}
+	if c3.DurationYears() != 0 {
+		t.Error("inverted range should have 0 years")
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	in := []string{"b", "a", "b", "c", "a"}
+	out := SortStrings(in)
+	want := []string{"a", "b", "c"}
+	if len(out) != len(want) {
+		t.Fatalf("SortStrings() = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("SortStrings()[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+	if got := SortStrings(nil); len(got) != 0 {
+		t.Errorf("SortStrings(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortStringsProperty(t *testing.T) {
+	// Property: output is sorted, deduplicated, and a subset of the input set.
+	f := func(in []string) bool {
+		seen := map[string]bool{}
+		for _, s := range in {
+			seen[s] = true
+		}
+		cp := append([]string(nil), in...)
+		out := SortStrings(cp)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				return false
+			}
+		}
+		if len(out) != len(seen) {
+			return false
+		}
+		for _, s := range out {
+			if !seen[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortHash(t *testing.T) {
+	if got := ShortHash("496ePyKvPBxyz1234567890"); got != "496ePyKvPB..." {
+		t.Errorf("ShortHash long = %q", got)
+	}
+	if got := ShortHash("abc"); got != "abc" {
+		t.Errorf("ShortHash short = %q", got)
+	}
+}
+
+func TestFormatXMR(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{163756, "163,756"},
+		{1, "1"},
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{429393, "429,393"},
+		{1234567, "1,234,567"},
+	}
+	for _, tt := range tests {
+		if got := FormatXMR(tt.in); got != tt.want {
+			t.Errorf("FormatXMR(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatUSD(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{20e6, "20 M"},
+		{323e3, "323 K"},
+		{42, "42"},
+		{58e6, "58 M"},
+	}
+	for _, tt := range tests {
+		if got := FormatUSD(tt.in); got != tt.want {
+			t.Errorf("FormatUSD(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSampleClone(t *testing.T) {
+	s := &Sample{
+		SHA256:  "deadbeef",
+		Content: []byte{1, 2, 3},
+		Sources: []Source{SourceVirusTotal},
+		ITWURLs: []string{"http://example.com/a.exe"},
+		Parents: []string{"p1"},
+	}
+	c := s.Clone()
+	c.Content[0] = 99
+	c.Sources[0] = SourcePaloAlto
+	c.ITWURLs[0] = "changed"
+	if s.Content[0] != 1 || s.Sources[0] != SourceVirusTotal || s.ITWURLs[0] != "http://example.com/a.exe" {
+		t.Error("Clone() did not deep-copy slices")
+	}
+}
+
+func TestDateHelper(t *testing.T) {
+	d := Date(2018, time.April, 6)
+	if d.Year() != 2018 || d.Month() != time.April || d.Day() != 6 || d.Location() != time.UTC {
+		t.Errorf("Date() = %v", d)
+	}
+}

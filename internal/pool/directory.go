@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"sort"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/pow"
+)
+
+// Directory holds the set of known mining pools the measurement queries, and
+// the domain-to-pool mapping the alias detector needs.
+type Directory struct {
+	pools map[string]*Pool
+}
+
+// KnownPoolSpec describes one well-known pool.
+type KnownPoolSpec struct {
+	Name        string
+	Domains     []string
+	Transparent bool
+	// HistoricHashrate marks pools that expose the per-wallet historical
+	// hashrate series (only minexmr in the paper).
+	HistoricHashrate bool
+}
+
+// KnownMoneroPools lists the Monero pools studied in Table VII plus the opaque
+// minergate pool. The set mirrors the paper's ranking universe.
+func KnownMoneroPools() []KnownPoolSpec {
+	return []KnownPoolSpec{
+		{Name: "crypto-pool", Domains: []string{"crypto-pool.fr", "mine.crypto-pool.fr", "xmr.crypto-pool.fr"}, Transparent: true},
+		{Name: "dwarfpool", Domains: []string{"dwarfpool.com", "xmr-eu.dwarfpool.com", "xmr-usa.dwarfpool.com"}, Transparent: true},
+		{Name: "minexmr", Domains: []string{"minexmr.com", "pool.minexmr.com"}, Transparent: true, HistoricHashrate: true},
+		{Name: "poolto", Domains: []string{"poolto.be", "xmr.poolto.be"}, Transparent: true},
+		{Name: "prohash", Domains: []string{"prohash.net", "xmr.prohash.net"}, Transparent: true},
+		{Name: "nanopool", Domains: []string{"nanopool.org", "xmr-eu1.nanopool.org"}, Transparent: true},
+		{Name: "monerohash", Domains: []string{"monerohash.com"}, Transparent: true},
+		{Name: "ppxxmr", Domains: []string{"ppxxmr.com", "pool.ppxxmr.com"}, Transparent: true},
+		{Name: "supportxmr", Domains: []string{"supportxmr.com", "pool.supportxmr.com"}, Transparent: true},
+		{Name: "moneropool", Domains: []string{"moneropool.com"}, Transparent: true},
+		{Name: "xmrpool", Domains: []string{"xmrpool.eu"}, Transparent: true},
+		{Name: "hashvault", Domains: []string{"hashvault.pro", "pool.hashvault.pro"}, Transparent: true},
+		{Name: "minemonero", Domains: []string{"minemonero.pro"}, Transparent: true},
+		{Name: "monerominers", Domains: []string{"monerominers.net"}, Transparent: true},
+		{Name: "viaxmr", Domains: []string{"viaxmr.com"}, Transparent: true},
+		{Name: "usxmrpool", Domains: []string{"usxmrpool.com"}, Transparent: true},
+		{Name: "moneroocean", Domains: []string{"moneroocean.stream", "gulf.moneroocean.stream"}, Transparent: true},
+		{Name: "minergate", Domains: []string{"minergate.com", "pool.minergate.com"}, Transparent: false},
+	}
+}
+
+// NewDirectory instantiates all known Monero pools backed by a shared network
+// model. A nil network uses the default Monero model.
+func NewDirectory(network *pow.Network) *Directory {
+	if network == nil {
+		network = pow.NewMoneroNetwork()
+	}
+	d := &Directory{pools: map[string]*Pool{}}
+	for _, spec := range KnownMoneroPools() {
+		policy := DefaultPolicy()
+		policy.Transparent = spec.Transparent
+		policy.ProvidesHistoricHashrate = spec.HistoricHashrate
+		if !spec.Transparent {
+			policy.ProvidesPaymentHistory = false
+		}
+		d.pools[spec.Name] = New(spec.Name, spec.Domains, model.CurrencyMonero, policy, network)
+	}
+	return d
+}
+
+// Get returns the pool with the given normalized name.
+func (d *Directory) Get(name string) (*Pool, bool) {
+	p, ok := d.pools[name]
+	return p, ok
+}
+
+// Add registers an additional pool (e.g. a private pool for a test).
+func (d *Directory) Add(p *Pool) { d.pools[p.Name] = p }
+
+// Names returns the pool names, sorted.
+func (d *Directory) Names() []string {
+	out := make([]string, 0, len(d.pools))
+	for n := range d.pools {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pools returns the pools sorted by name.
+func (d *Directory) Pools() []*Pool {
+	names := d.Names()
+	out := make([]*Pool, 0, len(names))
+	for _, n := range names {
+		out = append(out, d.pools[n])
+	}
+	return out
+}
+
+// DomainMap returns the domain -> pool-name map consumed by the CNAME alias
+// detector (dnssim.NewAliasDetector).
+func (d *Directory) DomainMap() map[string]string {
+	out := map[string]string{}
+	for name, p := range d.pools {
+		for _, dom := range p.Domains {
+			out[dom] = name
+		}
+	}
+	return out
+}
+
+// Transparent returns only the pools that expose public wallet statistics.
+func (d *Directory) Transparent() []*Pool {
+	var out []*Pool
+	for _, p := range d.Pools() {
+		if p.Policy.Transparent {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PoolForDomain returns the pool a domain belongs to (matching the domain or
+// any of its parents), if any.
+func (d *Directory) PoolForDomain(domain string) (*Pool, bool) {
+	for name, p := range d.pools {
+		for _, dom := range p.Domains {
+			if domain == dom || hasSuffixDot(domain, dom) {
+				return d.pools[name], true
+			}
+		}
+	}
+	return nil, false
+}
+
+func hasSuffixDot(name, suffix string) bool {
+	if len(name) <= len(suffix) {
+		return false
+	}
+	return name[len(name)-len(suffix):] == suffix && name[len(name)-len(suffix)-1] == '.'
+}

@@ -1,0 +1,292 @@
+package pool
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cryptomining/internal/pow"
+	"cryptomining/internal/stratum"
+)
+
+// Server exposes a Pool over the network: a Stratum TCP listener for miners
+// and an HTTP JSON API mirroring the public statistics endpoints transparent
+// pools provide.
+type Server struct {
+	Pool *Pool
+	// SharesPerHash is the crediting granularity: each accepted Stratum
+	// submit credits the wallet with this many hashes (real pools credit the
+	// share difficulty; the simulator uses a fixed difficulty).
+	SharesPerHash float64
+	// Clock supplies the current time; overridable in tests.
+	Clock func() time.Time
+
+	mu        sync.Mutex
+	stratumLn net.Listener
+	httpSrv   *http.Server
+	httpLn    net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+	jobSeq    int
+}
+
+// NewServer wraps a pool in a network server.
+func NewServer(p *Pool) *Server {
+	return &Server{Pool: p, SharesPerHash: 5000, Clock: time.Now}
+}
+
+// ListenStratum starts accepting Stratum connections on addr (e.g.
+// "127.0.0.1:0"). It returns the bound address.
+func (s *Server) ListenStratum(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.stratumLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn runs the server side of the Stratum session.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	codec := stratum.NewCodec(conn)
+	var login string
+	remoteIP := remoteIP(conn)
+	for {
+		req, err := codec.ReadRequest()
+		if err != nil {
+			return
+		}
+		switch req.Method {
+		case "login":
+			var p stratum.LoginParams
+			if err := json.Unmarshal(req.Params, &p); err != nil || p.Login == "" {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -1, Message: "invalid login params"}})
+				continue
+			}
+			if err := s.Pool.RegisterConnection(p.Login, remoteIP); err != nil {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -403, Message: err.Error()}})
+				continue
+			}
+			login = p.Login
+			result, _ := json.Marshal(&stratum.LoginResult{
+				ID:     fmt.Sprintf("%s-%s", s.Pool.Name, remoteIP),
+				Job:    s.newJob(),
+				Status: "OK",
+			})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "getjob":
+			if login == "" {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -1, Message: "not logged in"}})
+				continue
+			}
+			result, _ := json.Marshal(s.newJob())
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "submit":
+			if login == "" {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -1, Message: "not logged in"}})
+				continue
+			}
+			now := s.Clock()
+			algo := pow.AlgorithmAt(s.Pool.networkEpochs(), now)
+			err := s.Pool.Credit(login, remoteIP, s.SharesPerHash, algo, now)
+			if err != nil {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -2, Message: err.Error()}})
+				continue
+			}
+			result, _ := json.Marshal(&stratum.StatusResult{Status: "OK"})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "keepalived":
+			result, _ := json.Marshal(&stratum.StatusResult{Status: "KEEPALIVED"})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		default:
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -32601, Message: "unknown method"}})
+		}
+	}
+}
+
+func (s *Server) newJob() stratum.Job {
+	s.mu.Lock()
+	s.jobSeq++
+	seq := s.jobSeq
+	s.mu.Unlock()
+	blob := make([]byte, 16)
+	for i := range blob {
+		blob[i] = byte(seq >> (uint(i%4) * 8))
+	}
+	return stratum.Job{
+		Blob:   hex.EncodeToString(blob),
+		JobID:  fmt.Sprintf("job-%d", seq),
+		Target: "b88d0600", // fixed difficulty target
+		Algo:   pow.AlgorithmAt(s.Pool.networkEpochs(), s.Clock()),
+	}
+}
+
+// networkEpochs exposes the pool's PoW epochs to the server.
+func (p *Pool) networkEpochs() []pow.Epoch { return p.network.Epochs }
+
+func remoteIP(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
+// ListenHTTP starts the public statistics HTTP API on addr and returns the
+// bound address. Endpoints:
+//
+//	GET /api/stats?address=<wallet>  -> WalletStats JSON (404 unknown, 403 opaque)
+//	GET /api/pool                    -> pool summary JSON
+func (s *Server) ListenHTTP(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/pool", s.handlePoolInfo)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.httpLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	address := strings.TrimSpace(r.URL.Query().Get("address"))
+	if address == "" {
+		http.Error(w, "missing address parameter", http.StatusBadRequest)
+		return
+	}
+	stats, err := s.Pool.Stats(address, s.Clock())
+	switch {
+	case errors.Is(err, ErrOpaquePool):
+		http.Error(w, "pool does not publish statistics", http.StatusForbidden)
+		return
+	case errors.Is(err, ErrUnknownUser):
+		http.Error(w, "unknown address", http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(stats)
+}
+
+func (s *Server) handlePoolInfo(w http.ResponseWriter, r *http.Request) {
+	info := struct {
+		Name      string   `json:"name"`
+		Currency  string   `json:"currency"`
+		Domains   []string `json:"domains"`
+		Wallets   int      `json:"wallets"`
+		TotalPaid float64  `json:"total_paid"`
+	}{
+		Name:      s.Pool.Name,
+		Currency:  string(s.Pool.Currency),
+		Domains:   s.Pool.Domains,
+		Wallets:   len(s.Pool.Wallets()),
+		TotalPaid: s.Pool.TotalPaidAll(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// Close shuts down the Stratum and HTTP listeners and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stratumLn, httpSrv := s.stratumLn, s.httpSrv
+	s.mu.Unlock()
+	if stratumLn != nil {
+		_ = stratumLn.Close()
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// QueryStatsHTTP is the client side of the stats API: it fetches WalletStats
+// for an address from a pool's HTTP endpoint, exactly as the profit-analysis
+// stage queries real pools.
+func QueryStatsHTTP(client *http.Client, baseURL, address string) (*WalletStatsResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(baseURL, "/") + "/api/stats?address=" + address
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, ErrUnknownUser
+	case http.StatusForbidden:
+		return nil, ErrOpaquePool
+	default:
+		return nil, fmt.Errorf("pool: unexpected HTTP status %d", resp.StatusCode)
+	}
+	var stats WalletStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// WalletStatsResponse is the wire form of model.WalletStats (identical fields;
+// declared separately so the HTTP contract is explicit and stable).
+type WalletStatsResponse struct {
+	Pool        string    `json:"Pool"`
+	User        string    `json:"User"`
+	Hashes      uint64    `json:"Hashes"`
+	Hashrate    float64   `json:"Hashrate"`
+	LastShare   time.Time `json:"LastShare"`
+	Balance     float64   `json:"Balance"`
+	TotalPaid   float64   `json:"TotalPaid"`
+	NumPayments int       `json:"NumPayments"`
+	Banned      bool      `json:"Banned"`
+}

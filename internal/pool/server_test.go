@@ -1,0 +1,185 @@
+package pool
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/stratum"
+)
+
+func newTestServer(t *testing.T, policy Policy) (*Server, string, string) {
+	t.Helper()
+	p := New("minexmr", []string{"minexmr.com"}, model.CurrencyMonero, policy, nil)
+	s := NewServer(p)
+	// Pin the clock to a pre-fork date so the default "cryptonight" era applies.
+	s.Clock = func() time.Time { return date(2017, 6, 1) }
+	stratumAddr, err := s.ListenStratum("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenStratum error: %v", err)
+	}
+	httpAddr, err := s.ListenHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenHTTP error: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, stratumAddr, httpAddr
+}
+
+func TestServerStratumMiningAndHTTPStats(t *testing.T) {
+	s, stratumAddr, httpAddr := newTestServer(t, DefaultPolicy())
+
+	c, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial error: %v", err)
+	}
+	defer c.Close()
+
+	wallet := "4SERVERTESTWALLET"
+	res, err := c.Login(wallet, "x")
+	if err != nil {
+		t.Fatalf("Login error: %v", err)
+	}
+	if res.Status != "OK" || res.Job.JobID == "" {
+		t.Errorf("login result = %+v", res)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit("00000001", "deadbeef"); err != nil {
+			t.Fatalf("Submit %d error: %v", i, err)
+		}
+	}
+	if _, err := c.GetJob(); err != nil {
+		t.Fatalf("GetJob error: %v", err)
+	}
+	if err := c.KeepAlive(); err != nil {
+		t.Fatalf("KeepAlive error: %v", err)
+	}
+
+	// Pool-side accounting must reflect the submitted shares.
+	stats, err := s.Pool.Stats(wallet, s.Clock())
+	if err != nil {
+		t.Fatalf("Stats error: %v", err)
+	}
+	if stats.Hashes != uint64(10*s.SharesPerHash) {
+		t.Errorf("hashes = %d, want %d", stats.Hashes, uint64(10*s.SharesPerHash))
+	}
+
+	// Query the same wallet over the HTTP stats API, like the profit stage.
+	got, err := QueryStatsHTTP(nil, "http://"+httpAddr, wallet)
+	if err != nil {
+		t.Fatalf("QueryStatsHTTP error: %v", err)
+	}
+	if got.User != wallet || got.Pool != "minexmr" || got.Hashes != stats.Hashes {
+		t.Errorf("HTTP stats = %+v", got)
+	}
+}
+
+func TestServerHTTPUnknownAndMissingAddress(t *testing.T) {
+	_, _, httpAddr := newTestServer(t, DefaultPolicy())
+	if _, err := QueryStatsHTTP(nil, "http://"+httpAddr, "4UNKNOWN"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown wallet error = %v, want ErrUnknownUser", err)
+	}
+	resp, err := http.Get("http://" + httpAddr + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing address status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerHTTPOpaquePool(t *testing.T) {
+	policy := DefaultPolicy()
+	policy.Transparent = false
+	s, stratumAddr, httpAddr := newTestServer(t, policy)
+	_ = s
+
+	c, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Login("miner@mail.ru", "x"); err != nil {
+		t.Fatalf("Login error: %v", err)
+	}
+	if _, err := c.Submit("00", "ff"); err != nil {
+		t.Fatalf("Submit error: %v", err)
+	}
+	if _, err := QueryStatsHTTP(nil, "http://"+httpAddr, "miner@mail.ru"); !errors.Is(err, ErrOpaquePool) {
+		t.Errorf("opaque pool error = %v, want ErrOpaquePool", err)
+	}
+}
+
+func TestServerRefusesBannedWalletLogin(t *testing.T) {
+	s, stratumAddr, _ := newTestServer(t, DefaultPolicy())
+	wallet := "4BANNED_WALLET"
+	// Seed the wallet and ban it.
+	if err := s.Pool.Credit(wallet, "9.9.9.9", 1000, "cryptonight", s.Clock()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pool.BanWallet(wallet, s.Clock()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Login(wallet, "x"); err == nil {
+		t.Error("banned wallet login should be refused")
+	}
+}
+
+func TestServerSubmitBeforeLogin(t *testing.T) {
+	_, stratumAddr, _ := newTestServer(t, DefaultPolicy())
+	c, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Bypass the client-side guard by forging WorkerID, to exercise the
+	// server-side check.
+	c.WorkerID = "forged"
+	if _, err := c.Submit("00", "ff"); err == nil {
+		t.Error("server should reject submit before login")
+	}
+}
+
+func TestServerPoolInfoEndpoint(t *testing.T) {
+	s, _, httpAddr := newTestServer(t, DefaultPolicy())
+	_ = s.Pool.Credit("4W", "1.1.1.1", 1e9, "cryptonight", s.Clock())
+	resp, err := http.Get("http://" + httpAddr + "/api/pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pool info status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	p := New("p", nil, model.CurrencyMonero, DefaultPolicy(), nil)
+	s := NewServer(p)
+	if _, err := s.ListenStratum("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("first Close error: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close error: %v", err)
+	}
+}
+
+func TestQueryStatsHTTPBadEndpoint(t *testing.T) {
+	if _, err := QueryStatsHTTP(nil, "http://127.0.0.1:1", "4W"); err == nil {
+		t.Error("querying a closed port should error")
+	}
+}

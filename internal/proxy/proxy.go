@@ -1,0 +1,213 @@
+// Package proxy implements a Stratum mining proxy.
+//
+// Mining from a large botnet with one wallet raises suspicion at the pool,
+// which may ban the wallet. Offenders therefore run proxies that aggregate
+// the shares of many bots and forward them to the pool over a single
+// connection, so the pool only ever sees one source IP (§III-E of the paper).
+// The proxy below speaks the server side of the Stratum protocol towards the
+// bots and the client side towards an upstream pool, and keeps per-downstream
+// accounting so tests (and the ecosystem simulator) can verify that the
+// aggregation hides the botnet from the pool's ban policy.
+package proxy
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"cryptomining/internal/stratum"
+)
+
+// Errors returned by the proxy.
+var (
+	ErrNotStarted = errors.New("proxy: not started")
+)
+
+// Stats summarizes the proxy's activity.
+type Stats struct {
+	// DownstreamConnections is the number of bot connections accepted.
+	DownstreamConnections int
+	// SharesForwarded is the number of shares forwarded upstream.
+	SharesForwarded int
+	// SharesRejected is the number of shares the upstream pool rejected.
+	SharesRejected int
+}
+
+// Proxy forwards mining work from many downstream workers to one upstream
+// pool connection, authenticating upstream with a single wallet.
+type Proxy struct {
+	// UpstreamEndpoint is the pool's Stratum address (host:port).
+	UpstreamEndpoint string
+	// Wallet is the identifier used for the single upstream login.
+	Wallet string
+	// Password for the upstream login (usually "x").
+	Password string
+	// DialTimeout bounds the upstream connection attempt.
+	DialTimeout time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	upstream *stratum.Client
+	stats    Stats
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// New creates a proxy that logs in upstream with the given wallet.
+func New(upstreamEndpoint, wallet string) *Proxy {
+	return &Proxy{
+		UpstreamEndpoint: upstreamEndpoint,
+		Wallet:           wallet,
+		Password:         "x",
+		DialTimeout:      3 * time.Second,
+	}
+}
+
+// Start connects upstream, logs in, and begins accepting downstream workers on
+// listenAddr. It returns the bound downstream address.
+func (p *Proxy) Start(listenAddr string) (string, error) {
+	up, err := stratum.Dial(p.UpstreamEndpoint, p.DialTimeout)
+	if err != nil {
+		return "", err
+	}
+	if _, err := up.Login(p.Wallet, p.Password); err != nil {
+		up.Close()
+		return "", err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		up.Close()
+		return "", err
+	}
+	p.mu.Lock()
+	p.upstream = up
+	p.ln = ln
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.stats.DownstreamConnections++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handleDownstream(conn)
+		}()
+	}
+}
+
+// handleDownstream serves one bot: it accepts any login (bots often present
+// the campaign wallet or a throwaway identifier) and forwards submits
+// upstream under the proxy's single session.
+func (p *Proxy) handleDownstream(conn net.Conn) {
+	defer conn.Close()
+	codec := stratum.NewCodec(conn)
+	loggedIn := false
+	for {
+		req, err := codec.ReadRequest()
+		if err != nil {
+			return
+		}
+		switch req.Method {
+		case "login":
+			loggedIn = true
+			result, _ := json.Marshal(&stratum.LoginResult{
+				ID:     "proxy-worker",
+				Job:    p.currentJob(),
+				Status: "OK",
+			})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "getjob":
+			if !loggedIn {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -1, Message: "not logged in"}})
+				continue
+			}
+			result, _ := json.Marshal(p.currentJob())
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "submit":
+			if !loggedIn {
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -1, Message: "not logged in"}})
+				continue
+			}
+			var sp stratum.SubmitParams
+			_ = json.Unmarshal(req.Params, &sp)
+			if err := p.forwardShare(sp.Nonce, sp.Result); err != nil {
+				p.mu.Lock()
+				p.stats.SharesRejected++
+				p.mu.Unlock()
+				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -2, Message: err.Error()}})
+				continue
+			}
+			p.mu.Lock()
+			p.stats.SharesForwarded++
+			p.mu.Unlock()
+			result, _ := json.Marshal(&stratum.StatusResult{Status: "OK"})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		case "keepalived":
+			result, _ := json.Marshal(&stratum.StatusResult{Status: "KEEPALIVED"})
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Result: result})
+		default:
+			_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -32601, Message: "unknown method"}})
+		}
+	}
+}
+
+func (p *Proxy) currentJob() stratum.Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.upstream == nil {
+		return stratum.Job{JobID: "proxy-idle", Target: "ffffffff"}
+	}
+	return p.upstream.CurrentJob
+}
+
+func (p *Proxy) forwardShare(nonce, result string) error {
+	p.mu.Lock()
+	up := p.upstream
+	p.mu.Unlock()
+	if up == nil {
+		return ErrNotStarted
+	}
+	_, err := up.Submit(nonce, result)
+	return err
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops accepting downstream workers and closes the upstream session.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln, up := p.ln, p.upstream
+	p.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if up != nil {
+		_ = up.Close()
+	}
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,172 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
+	"cryptomining/internal/stratum"
+)
+
+// startPool spins up a pool server with an aggressive ban policy so the tests
+// can show that the proxy hides the botnet behind a single IP.
+func startPool(t *testing.T, banIPThreshold int) (*pool.Server, string) {
+	t.Helper()
+	policy := pool.DefaultPolicy()
+	policy.BanIPThreshold = banIPThreshold
+	p := pool.New("crypto-pool", []string{"crypto-pool.fr"}, model.CurrencyMonero, policy, nil)
+	srv := pool.NewServer(p)
+	srv.Clock = func() time.Time { return time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC) }
+	addr, err := srv.ListenStratum("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("pool listen error: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr
+}
+
+func TestProxyForwardsSharesUnderSingleWallet(t *testing.T) {
+	srv, poolAddr := startPool(t, 1000)
+	wallet := "4PROXY_CAMPAIGN_WALLET"
+
+	px := New(poolAddr, wallet)
+	proxyAddr, err := px.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy start error: %v", err)
+	}
+	defer px.Close()
+
+	// Three "bots" connect to the proxy and submit shares.
+	for b := 0; b < 3; b++ {
+		c, err := stratum.Dial(proxyAddr, 2*time.Second)
+		if err != nil {
+			t.Fatalf("bot %d dial error: %v", b, err)
+		}
+		if _, err := c.Login("bot-worker", "x"); err != nil {
+			t.Fatalf("bot %d login error: %v", b, err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c.Submit("0a", "ff"); err != nil {
+				t.Fatalf("bot %d submit error: %v", b, err)
+			}
+		}
+		if _, err := c.GetJob(); err != nil {
+			t.Fatalf("bot %d getjob error: %v", b, err)
+		}
+		if err := c.KeepAlive(); err != nil {
+			t.Fatalf("bot %d keepalive error: %v", b, err)
+		}
+		c.Close()
+	}
+
+	stats := px.Stats()
+	if stats.DownstreamConnections != 3 {
+		t.Errorf("downstream connections = %d, want 3", stats.DownstreamConnections)
+	}
+	if stats.SharesForwarded != 15 {
+		t.Errorf("shares forwarded = %d, want 15", stats.SharesForwarded)
+	}
+	if stats.SharesRejected != 0 {
+		t.Errorf("shares rejected = %d, want 0", stats.SharesRejected)
+	}
+
+	// The pool sees exactly one wallet and one source IP.
+	ws, err := srv.Pool.Stats(wallet, srv.Clock())
+	if err != nil {
+		t.Fatalf("pool stats error: %v", err)
+	}
+	if ws.Hashes == 0 {
+		t.Error("pool should have credited the proxy wallet")
+	}
+	if got := srv.Pool.DistinctIPs(wallet); got != 1 {
+		t.Errorf("pool sees %d distinct IPs, want 1 (the proxy)", got)
+	}
+}
+
+func TestProxyEvadesIPBanPolicy(t *testing.T) {
+	// Ban threshold of 2 IPs: direct bots would be banned, a proxy is not.
+	srv, poolAddr := startPool(t, 2)
+	wallet := "4EVADER"
+	px := New(poolAddr, wallet)
+	proxyAddr, err := px.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy start error: %v", err)
+	}
+	defer px.Close()
+
+	for b := 0; b < 5; b++ {
+		c, err := stratum.Dial(proxyAddr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Login("bot", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit("0b", "aa"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if srv.Pool.IsBanned(wallet) {
+		t.Error("proxy-fronted wallet should not be banned by the IP policy")
+	}
+}
+
+func TestProxyStartFailsWhenUpstreamUnreachable(t *testing.T) {
+	px := New("127.0.0.1:1", "4W")
+	px.DialTimeout = 300 * time.Millisecond
+	if _, err := px.Start("127.0.0.1:0"); err == nil {
+		t.Error("start should fail when upstream pool is unreachable")
+		px.Close()
+	}
+}
+
+func TestProxyStartFailsWhenWalletBanned(t *testing.T) {
+	srv, poolAddr := startPool(t, 1000)
+	wallet := "4ALREADY_BANNED"
+	if err := srv.Pool.Credit(wallet, "9.9.9.9", 1000, "cryptonight", srv.Clock()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Pool.BanWallet(wallet, srv.Clock()); err != nil {
+		t.Fatal(err)
+	}
+	px := New(poolAddr, wallet)
+	if _, err := px.Start("127.0.0.1:0"); err == nil {
+		t.Error("start should fail when upstream login is refused")
+		px.Close()
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	_, poolAddr := startPool(t, 1000)
+	px := New(poolAddr, "4W")
+	if _, err := px.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.Close(); err != nil {
+		t.Errorf("first close error: %v", err)
+	}
+	if err := px.Close(); err != nil {
+		t.Errorf("second close error: %v", err)
+	}
+}
+
+func TestProxyRejectsSubmitBeforeLogin(t *testing.T) {
+	_, poolAddr := startPool(t, 1000)
+	px := New(poolAddr, "4W")
+	proxyAddr, err := px.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	c, err := stratum.Dial(proxyAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.WorkerID = "forged"
+	if _, err := c.Submit("00", "ff"); err == nil {
+		t.Error("proxy should reject submit before login")
+	}
+}

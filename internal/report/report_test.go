@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table VII: pools", "Pool", "XMR", "Wallets")
+	tbl.AddRow("crypto-pool", "429,393", "487")
+	tbl.AddRow("dwarfpool", "168,796")
+	out := tbl.String()
+	if !strings.Contains(out, "Table VII: pools") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "crypto-pool") || !strings.Contains(out, "429,393") {
+		t.Error("row content missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("lines = %d, want 5", len(lines))
+	}
+	// Columns align: every data line has the same length as the header line.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width should match header width")
+	}
+	// Missing cells padded, extra cells dropped.
+	tbl2 := NewTable("", "A", "B")
+	tbl2.AddRow("1", "2", "3")
+	if got := tbl2.Rows[0]; len(got) != 2 {
+		t.Errorf("row normalized = %v", got)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{Name: "XMR share by year"}
+	s.Add("2016", 0.15)
+	s.Add("2017", 0.28)
+	s.Add("2018", 0.37)
+	out := s.String()
+	if !strings.Contains(out, "XMR share by year") || !strings.Contains(out, "2018") {
+		t.Errorf("series output = %q", out)
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[3], strings.Repeat("#", 30)) {
+		t.Errorf("max value should have a full bar: %q", lines[3])
+	}
+	empty := &Series{}
+	if empty.String() != "" {
+		t.Errorf("empty series = %q", empty.String())
+	}
+}
+
+func TestYearBuckets(t *testing.T) {
+	y := NewYearBuckets()
+	y.Add(time.Date(2017, 5, 1, 0, 0, 0, 0, time.UTC))
+	y.Add(time.Date(2017, 8, 1, 0, 0, 0, 0, time.UTC))
+	y.Add(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	y.Add(time.Time{}) // ignored
+	y.AddN(2014, 5)
+	if y.Count(2017) != 2 || y.Count(2018) != 1 || y.Count(2014) != 5 {
+		t.Errorf("counts = %v/%v/%v", y.Count(2017), y.Count(2018), y.Count(2014))
+	}
+	years := y.Years()
+	if len(years) != 3 || years[0] != 2014 || years[2] != 2018 {
+		t.Errorf("years = %v", years)
+	}
+	if y.Total() != 8 {
+		t.Errorf("total = %d", y.Total())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("github.com")
+	c.Add("github.com")
+	c.Add("amazonaws.com")
+	c.AddN("weebly.com", 5)
+	c.Add("") // ignored
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "weebly.com" || top[0].Count != 5 {
+		t.Errorf("Top(2) = %v", top)
+	}
+	all := c.Top(0)
+	if len(all) != 3 {
+		t.Errorf("Top(0) = %v", all)
+	}
+	// Ties break by key.
+	c2 := NewCounter()
+	c2.Add("b")
+	c2.Add("a")
+	tied := c2.Top(0)
+	if tied[0].Key != "a" {
+		t.Errorf("tie break = %v", tied)
+	}
+	if c.Count("github.com") != 2 {
+		t.Errorf("Count = %d", c.Count("github.com"))
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(4.37, 100); got != "4.4%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(1, 0); got != "0.0%" {
+		t.Errorf("Percent div0 = %q", got)
+	}
+	if got := Percent(22, 100); got != "22.0%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package sandbox is the dynamic-analysis environment of the pipeline: it
+// "executes" a sample and records the artefacts the paper's sandbox and
+// network analysis extract — process trees and command lines, dropped files,
+// DNS resolutions and Stratum traffic captures (§III-C).
+//
+// Execution is an interpretation of the behaviour blob embedded in the
+// fabricated sample (internal/spec). The resulting report has the same shape
+// regardless of whether the bytes came from a real sandbox (Hybrid Analysis /
+// VirusTotal behaviour reports) or from this simulator, so the extraction
+// stage downstream is exercised on realistic inputs: the wallet appears inside
+// a command line string and inside raw Stratum login frames, not as a neatly
+// labeled field.
+package sandbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"cryptomining/internal/dnssim"
+	"cryptomining/internal/spec"
+	"cryptomining/internal/stratum"
+)
+
+// Process is one process observed during execution.
+type Process struct {
+	PID         int
+	Name        string
+	CommandLine string
+	Parent      int
+}
+
+// Connection is one network flow observed during execution.
+type Connection struct {
+	DstHost string
+	DstIP   string
+	DstPort int
+	Proto   string
+	// Payload is the captured application-layer traffic (first bytes).
+	Payload []byte
+}
+
+// DNSQuery is one DNS resolution observed during execution.
+type DNSQuery struct {
+	Name  string
+	CNAME []string
+	IPs   []string
+	Error string
+}
+
+// Report is the dynamic-analysis result for one sample.
+type Report struct {
+	SHA256     string
+	StartedAt  time.Time
+	Duration   time.Duration
+	Processes  []Process
+	Connections []Connection
+	DNS        []DNSQuery
+	DroppedHashes []string
+	DownloadedURLs []string
+	// MiningObserved is true when Stratum traffic was captured.
+	MiningObserved bool
+}
+
+// CommandLines returns every observed command line joined for text scanning.
+func (r *Report) CommandLines() []string {
+	var out []string
+	for _, p := range r.Processes {
+		if p.CommandLine != "" {
+			out = append(out, p.CommandLine)
+		}
+	}
+	return out
+}
+
+// NetworkCapture concatenates the captured payloads (the pcap-equivalent the
+// network-analysis stage scans).
+func (r *Report) NetworkCapture() []byte {
+	var b []byte
+	for _, c := range r.Connections {
+		b = append(b, c.Payload...)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// Sandbox executes samples against a simulated network environment.
+type Sandbox struct {
+	// Resolver resolves the domains the sample contacts; nil disables DNS.
+	Resolver *dnssim.Resolver
+	// Clock provides the execution timestamp.
+	Clock func() time.Time
+	// ExecutionTime is the simulated duration of a run.
+	ExecutionTime time.Duration
+}
+
+// New returns a sandbox using the given resolver.
+func New(resolver *dnssim.Resolver) *Sandbox {
+	return &Sandbox{
+		Resolver:      resolver,
+		Clock:         time.Now,
+		ExecutionTime: 5 * time.Minute,
+	}
+}
+
+// Run executes the sample content and produces the dynamic-analysis report.
+// Samples without an embedded behaviour blob produce an empty report (they
+// "crash" or do nothing observable), which downstream treats as a sample whose
+// dynamic analysis yielded nothing — exactly like broken or evasive samples in
+// the real corpus.
+func (s *Sandbox) Run(sha256Hex string, content []byte) *Report {
+	now := time.Now
+	if s.Clock != nil {
+		now = s.Clock
+	}
+	report := &Report{SHA256: sha256Hex, StartedAt: now(), Duration: s.ExecutionTime}
+	behavior, ok := spec.Extract(content)
+	if !ok {
+		return report
+	}
+
+	pid := 1000
+	// The sample's own process.
+	report.Processes = append(report.Processes, Process{
+		PID: pid, Name: "sample.exe", CommandLine: "C:\\Users\\victim\\AppData\\Local\\Temp\\sample.exe", Parent: 4,
+	})
+
+	// Dropper behaviour: downloads and drops.
+	report.DownloadedURLs = append(report.DownloadedURLs, behavior.DownloadsURLs...)
+	report.DroppedHashes = append(report.DroppedHashes, behavior.DropsHashes...)
+
+	// DNS resolutions for every contacted domain plus the pool host.
+	domains := append([]string(nil), behavior.ContactsDomains...)
+	if behavior.PoolHost != "" && !isIPLiteral(behavior.PoolHost) {
+		domains = append(domains, behavior.PoolHost)
+	}
+	seen := map[string]bool{}
+	for _, d := range domains {
+		d = strings.ToLower(strings.TrimSpace(d))
+		if d == "" || seen[d] {
+			continue
+		}
+		seen[d] = true
+		q := DNSQuery{Name: d}
+		if s.Resolver != nil {
+			if res, err := s.Resolver.Resolve(d); err == nil {
+				q.CNAME = res.Chain
+				q.IPs = res.IPs
+			} else {
+				q.Error = err.Error()
+			}
+		}
+		report.DNS = append(report.DNS, q)
+	}
+
+	// Mining behaviour: a child process with the mining command line and a
+	// Stratum connection whose payload carries the login frame.
+	if behavior.IsMiner && behavior.Wallet != "" {
+		pid++
+		procName := behavior.ProcessName
+		if procName == "" {
+			procName = "miner.exe"
+		}
+		cmdline := behavior.CommandLine
+		if cmdline == "" {
+			cmdline = DefaultCommandLine(behavior)
+		}
+		report.Processes = append(report.Processes, Process{
+			PID: pid, Name: procName, CommandLine: cmdline, Parent: 1000,
+		})
+
+		dstIP := ""
+		dstHost := behavior.PoolHost
+		if isIPLiteral(dstHost) {
+			dstIP = dstHost
+		} else if s.Resolver != nil {
+			if res, err := s.Resolver.Resolve(dstHost); err == nil && len(res.IPs) > 0 {
+				dstIP = res.IPs[0]
+			}
+		}
+		port := behavior.PoolPort
+		if port == 0 {
+			port = 3333
+		}
+		report.Connections = append(report.Connections, Connection{
+			DstHost: dstHost,
+			DstIP:   dstIP,
+			DstPort: port,
+			Proto:   "tcp",
+			Payload: loginFrame(behavior),
+		})
+		report.MiningObserved = true
+	}
+	return report
+}
+
+// DefaultCommandLine fabricates the xmrig-style command line for a behaviour
+// that does not specify one explicitly.
+func DefaultCommandLine(b spec.Behavior) string {
+	var sb strings.Builder
+	sb.WriteString("xmrig.exe -o stratum+tcp://")
+	sb.WriteString(b.PoolEndpoint())
+	sb.WriteString(" -u ")
+	sb.WriteString(b.Wallet)
+	sb.WriteString(" -p ")
+	if b.Password != "" {
+		sb.WriteString(b.Password)
+	} else {
+		sb.WriteString("x")
+	}
+	if b.Threads > 0 {
+		fmt.Fprintf(&sb, " -t %d", b.Threads)
+	}
+	sb.WriteString(" --donate-level=1")
+	if b.IdleMining {
+		sb.WriteString(" --cpu-max-threads-hint=50 --pause-on-active")
+	}
+	return sb.String()
+}
+
+// loginFrame fabricates the captured Stratum login request the miner sends.
+func loginFrame(b spec.Behavior) []byte {
+	agent := b.Agent
+	if agent == "" {
+		agent = "XMRig/2.14.1"
+	}
+	params, _ := json.Marshal(&stratum.LoginParams{Login: b.Wallet, Pass: b.Password, Agent: agent})
+	req, _ := json.Marshal(&stratum.Request{ID: 1, Method: "login", Params: params})
+	submitParams, _ := json.Marshal(&stratum.SubmitParams{ID: "w", JobID: "1", Nonce: "0badc0de", Result: "00ff"})
+	sub, _ := json.Marshal(&stratum.Request{ID: 2, Method: "submit", Params: submitParams})
+	return append(append(req, '\n'), sub...)
+}
+
+func isIPLiteral(host string) bool {
+	if host == "" {
+		return false
+	}
+	for _, c := range host {
+		if (c < '0' || c > '9') && c != '.' && c != ':' {
+			return false
+		}
+	}
+	return true
+}

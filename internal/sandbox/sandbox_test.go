@@ -1,0 +1,267 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/dnssim"
+	"cryptomining/internal/model"
+	"cryptomining/internal/spec"
+	"cryptomining/internal/stratum"
+)
+
+func testZone() *dnssim.Zone {
+	z := dnssim.NewZone()
+	z.AddA("pool.minexmr.com", "94.130.12.30", time.Time{})
+	z.AddCNAME("xt.freebuf.info", "pool.minexmr.com", time.Time{})
+	z.AddA("github.com", "140.82.121.3", time.Time{})
+	return z
+}
+
+func buildSample(b spec.Behavior, obfuscated bool) (string, []byte) {
+	builder := binfmt.NewBuilder(model.FormatPE)
+	if !obfuscated {
+		builder.AddString(b.CommandLine)
+	}
+	content := append(builder.Build(), spec.Encode(b, obfuscated)...)
+	sha, _ := binfmt.Hashes(content)
+	return sha, content
+}
+
+func minerBehavior() spec.Behavior {
+	return spec.Behavior{
+		IsMiner:     true,
+		PoolHost:    "xt.freebuf.info",
+		PoolPort:    4444,
+		Wallet:      "45c2ShhBmuTESTWALLET",
+		Password:    "x",
+		Threads:     2,
+		Algo:        "cryptonight",
+		ProcessName: "svchost.exe",
+		ContactsDomains: []string{"xt.freebuf.info"},
+		DownloadsURLs:   []string{"https://github.com/xmrig/xmrig/releases/xmrig.exe"},
+		DropsHashes:     []string{"deadbeefcafe"},
+	}
+}
+
+func TestRunMinerSample(t *testing.T) {
+	sb := New(dnssim.NewResolver(testZone()))
+	sb.Clock = func() time.Time { return time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC) }
+	b := minerBehavior()
+	sha, content := buildSample(b, false)
+
+	report := sb.Run(sha, content)
+	if !report.MiningObserved {
+		t.Fatal("mining should be observed")
+	}
+	if report.SHA256 != sha {
+		t.Errorf("report hash = %q", report.SHA256)
+	}
+	// A miner child process with the wallet in its command line.
+	var minerProc *Process
+	for i := range report.Processes {
+		if report.Processes[i].Name == "svchost.exe" {
+			minerProc = &report.Processes[i]
+		}
+	}
+	if minerProc == nil {
+		t.Fatal("miner process not found in process tree")
+	}
+	if !strings.Contains(minerProc.CommandLine, b.Wallet) {
+		t.Errorf("command line should contain the wallet: %q", minerProc.CommandLine)
+	}
+	if minerProc.Parent != 1000 {
+		t.Errorf("miner process parent = %d, want dropper pid", minerProc.Parent)
+	}
+
+	// DNS: the CNAME alias resolution is captured.
+	var aliasQuery *DNSQuery
+	for i := range report.DNS {
+		if report.DNS[i].Name == "xt.freebuf.info" {
+			aliasQuery = &report.DNS[i]
+		}
+	}
+	if aliasQuery == nil {
+		t.Fatal("alias DNS query not captured")
+	}
+	if len(aliasQuery.CNAME) != 1 || aliasQuery.CNAME[0] != "pool.minexmr.com" {
+		t.Errorf("CNAME chain = %v", aliasQuery.CNAME)
+	}
+
+	// Network: Stratum login frame with the wallet, parseable by the
+	// network-analysis stage.
+	capture := report.NetworkCapture()
+	if !stratum.IsStratumTraffic(capture) {
+		t.Error("capture should contain Stratum traffic")
+	}
+	logins := stratum.ParseTraffic(capture)
+	if len(logins) != 1 || logins[0].Login != b.Wallet {
+		t.Errorf("extracted logins = %+v", logins)
+	}
+	if len(report.Connections) != 1 || report.Connections[0].DstPort != 4444 {
+		t.Errorf("connections = %+v", report.Connections)
+	}
+	if report.Connections[0].DstIP != "94.130.12.30" {
+		t.Errorf("destination IP = %q (should follow the CNAME)", report.Connections[0].DstIP)
+	}
+
+	// Dropper artefacts.
+	if len(report.DroppedHashes) != 1 || report.DroppedHashes[0] != "deadbeefcafe" {
+		t.Errorf("dropped hashes = %v", report.DroppedHashes)
+	}
+	if len(report.DownloadedURLs) != 1 {
+		t.Errorf("downloaded urls = %v", report.DownloadedURLs)
+	}
+}
+
+func TestRunObfuscatedSampleStillObservable(t *testing.T) {
+	// Packed samples hide strings, but dynamic analysis still reveals the
+	// mining behaviour — the core reason the pipeline needs a sandbox.
+	sb := New(dnssim.NewResolver(testZone()))
+	b := minerBehavior()
+	sha, content := buildSample(b, true)
+	if strings.Contains(string(content), b.Wallet) {
+		t.Fatal("obfuscated sample should not contain the wallet in cleartext")
+	}
+	report := sb.Run(sha, content)
+	if !report.MiningObserved {
+		t.Fatal("obfuscated miner should still be observed dynamically")
+	}
+	logins := stratum.ParseTraffic(report.NetworkCapture())
+	if len(logins) != 1 || logins[0].Login != b.Wallet {
+		t.Errorf("extracted logins from obfuscated sample = %+v", logins)
+	}
+}
+
+func TestRunNonMinerSample(t *testing.T) {
+	sb := New(dnssim.NewResolver(testZone()))
+	b := spec.Behavior{
+		IsMiner:       false,
+		DownloadsURLs: []string{"http://4i7i.com/11.exe"},
+		DropsHashes:   []string{"feedface"},
+		ContactsDomains: []string{"github.com"},
+	}
+	sha, content := buildSample(b, false)
+	report := sb.Run(sha, content)
+	if report.MiningObserved {
+		t.Error("dropper without mining should not observe mining")
+	}
+	if len(report.Connections) != 0 {
+		t.Errorf("connections = %v", report.Connections)
+	}
+	if len(report.DroppedHashes) != 1 || len(report.DownloadedURLs) != 1 {
+		t.Errorf("dropper artefacts missing: %+v", report)
+	}
+	if len(report.DNS) != 1 || report.DNS[0].Name != "github.com" {
+		t.Errorf("DNS = %v", report.DNS)
+	}
+}
+
+func TestRunSampleWithoutBehaviorBlob(t *testing.T) {
+	sb := New(dnssim.NewResolver(testZone()))
+	content := binfmt.NewBuilder(model.FormatPE).AddString("just a plain binary").Build()
+	sha, _ := binfmt.Hashes(content)
+	report := sb.Run(sha, content)
+	if report.MiningObserved || len(report.Processes) != 0 || len(report.DNS) != 0 {
+		t.Errorf("blob-less sample should produce an empty report: %+v", report)
+	}
+}
+
+func TestRunIPLiteralPool(t *testing.T) {
+	sb := New(dnssim.NewResolver(testZone()))
+	b := spec.Behavior{
+		IsMiner: true, Wallet: "4IPWALLET", PoolHost: "221.9.251.236", PoolPort: 3333,
+	}
+	sha, content := buildSample(b, false)
+	report := sb.Run(sha, content)
+	if !report.MiningObserved {
+		t.Fatal("mining to an IP literal should be observed")
+	}
+	if report.Connections[0].DstIP != "221.9.251.236" {
+		t.Errorf("dst ip = %q", report.Connections[0].DstIP)
+	}
+	// No DNS query should be attempted for an IP literal.
+	for _, q := range report.DNS {
+		if q.Name == "221.9.251.236" {
+			t.Error("IP literal should not be resolved")
+		}
+	}
+}
+
+func TestRunUnresolvableDomain(t *testing.T) {
+	sb := New(dnssim.NewResolver(dnssim.NewZone())) // empty zone
+	b := spec.Behavior{IsMiner: true, Wallet: "4W", PoolHost: "gone.example.com"}
+	sha, content := buildSample(b, false)
+	report := sb.Run(sha, content)
+	if len(report.DNS) != 1 || report.DNS[0].Error == "" {
+		t.Errorf("NXDOMAIN should be recorded: %+v", report.DNS)
+	}
+	// Connection is still attempted (to an unknown IP), as real malware does.
+	if !report.MiningObserved {
+		t.Error("mining attempt should still be observed")
+	}
+	if report.Connections[0].DstIP != "" {
+		t.Errorf("dst ip should be empty for unresolvable host, got %q", report.Connections[0].DstIP)
+	}
+}
+
+func TestRunNilResolver(t *testing.T) {
+	sb := New(nil)
+	b := minerBehavior()
+	sha, content := buildSample(b, false)
+	report := sb.Run(sha, content)
+	if !report.MiningObserved {
+		t.Error("sandbox without DNS should still observe mining")
+	}
+	for _, q := range report.DNS {
+		if len(q.IPs) != 0 || len(q.CNAME) != 0 {
+			t.Error("DNS answers should be empty without a resolver")
+		}
+	}
+}
+
+func TestDefaultCommandLine(t *testing.T) {
+	b := spec.Behavior{
+		IsMiner: true, Wallet: "4WALLET", PoolHost: "pool.supportxmr.com", PoolPort: 5555,
+		Threads: 3, IdleMining: true,
+	}
+	cmd := DefaultCommandLine(b)
+	for _, want := range []string{"stratum+tcp://pool.supportxmr.com:5555", "-u 4WALLET", "-t 3", "-p x", "--donate-level=1", "--pause-on-active"} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("command line %q missing %q", cmd, want)
+		}
+	}
+}
+
+func TestCommandLinesHelper(t *testing.T) {
+	r := &Report{Processes: []Process{
+		{CommandLine: "a.exe"}, {CommandLine: ""}, {CommandLine: "b.exe -x"},
+	}}
+	cls := r.CommandLines()
+	if len(cls) != 2 || cls[1] != "b.exe -x" {
+		t.Errorf("CommandLines = %v", cls)
+	}
+}
+
+func TestIsIPLiteral(t *testing.T) {
+	if !isIPLiteral("10.0.0.1") {
+		t.Error("10.0.0.1 should be an IP literal")
+	}
+	for _, s := range []string{"", "pool.minexmr.com", "1.2.3.x"} {
+		if isIPLiteral(s) {
+			t.Errorf("%q should not be an IP literal", s)
+		}
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	sb := New(dnssim.NewResolver(testZone()))
+	behavior := minerBehavior()
+	sha, content := buildSample(behavior, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sb.Run(sha, content)
+	}
+}

@@ -1,0 +1,164 @@
+// Package spec defines the behaviour specification embedded in synthetic
+// malware samples and the encoding used to carry it inside the binary image.
+//
+// Real malware encodes its mining configuration in code, configuration blobs
+// or command lines; the analysis pipeline recovers it with static string
+// extraction or by observing the sample's runtime behaviour in a sandbox.
+// Because this reproduction fabricates its corpus, each sample embeds a
+// Behaviour blob describing what the binary "does" when executed. The sandbox
+// (internal/sandbox) interprets the blob to emit realistic dynamic-analysis
+// artefacts (process trees, command lines, DNS lookups, Stratum traffic).
+//
+// Obfuscated samples XOR-encode the blob: static string extraction then finds
+// nothing, exactly like a packed binary, while the sandbox — which emulates
+// actual execution, i.e. runtime unpacking — still recovers the behaviour.
+// This mirrors the paper's observation that most wallets are recovered through
+// dynamic rather than static analysis (Table III).
+package spec
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+)
+
+// Markers bracket the embedded behaviour blob inside the binary image.
+var (
+	markerStart = []byte("\x00\x01BHV{")
+	markerEnd   = []byte("}BHV\x01\x00")
+)
+
+// xorKey obfuscates blobs of packed samples.
+const xorKey = 0x5A
+
+// Behavior describes what a fabricated sample does when executed.
+type Behavior struct {
+	// IsMiner marks samples that perform mining themselves (as opposed to
+	// droppers/loaders).
+	IsMiner bool `json:"is_miner"`
+
+	// PoolHost and PoolPort identify the Stratum endpoint the miner connects
+	// to. The host may be a real pool domain, a CNAME alias controlled by
+	// the campaign, a proxy address or a raw IP.
+	PoolHost string `json:"pool_host,omitempty"`
+	PoolPort int    `json:"pool_port,omitempty"`
+
+	// Wallet is the mining identifier (wallet address or e-mail).
+	Wallet string `json:"wallet,omitempty"`
+	// Password is the Stratum password (usually "x").
+	Password string `json:"password,omitempty"`
+	// Agent is the user agent announced at login.
+	Agent string `json:"agent,omitempty"`
+	// Threads is the number of CPU threads used for mining.
+	Threads int `json:"threads,omitempty"`
+	// Algo is the PoW algorithm the embedded miner implements; it goes stale
+	// when the network forks unless the operator ships an update.
+	Algo string `json:"algo,omitempty"`
+
+	// CommandLine is the mining process command line observed at runtime
+	// (e.g. "xmrig.exe -o stratum+tcp://... -u <wallet> -p x").
+	CommandLine string `json:"command_line,omitempty"`
+	// ProcessName is the name of the spawned mining process.
+	ProcessName string `json:"process_name,omitempty"`
+
+	// DropsHashes are SHA256 hashes of files the sample drops (stock tools,
+	// next-stage payloads).
+	DropsHashes []string `json:"drops_hashes,omitempty"`
+	// DownloadsURLs are URLs fetched at runtime (droppers downloading the
+	// actual miner, often from GitHub or cloud storage).
+	DownloadsURLs []string `json:"downloads_urls,omitempty"`
+	// ContactsDomains are additional domains resolved at runtime (C2, pools,
+	// CNAME aliases).
+	ContactsDomains []string `json:"contacts_domains,omitempty"`
+
+	// IdleMining marks samples that only mine when the machine is idle.
+	IdleMining bool `json:"idle_mining,omitempty"`
+	// StopsOnTaskManager marks samples that pause when monitoring tools run.
+	StopsOnTaskManager bool `json:"stops_on_task_manager,omitempty"`
+	// UsesProxy marks samples whose PoolHost is a mining proxy rather than a
+	// public pool.
+	UsesProxy bool `json:"uses_proxy,omitempty"`
+}
+
+// Encode serializes the behaviour into the blob appended to a binary image.
+// When obfuscated is true the payload is XOR-encoded so static string
+// extraction cannot recover it.
+func Encode(b Behavior, obfuscated bool) []byte {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		// Behavior contains only marshalable fields; this cannot happen.
+		panic("spec: marshal behaviour: " + err.Error())
+	}
+	flag := byte('P') // plain
+	if obfuscated {
+		flag = 'X'
+		obf := make([]byte, len(payload))
+		for i, c := range payload {
+			obf[i] = c ^ xorKey
+		}
+		payload = obf
+	}
+	encoded := base64.StdEncoding.EncodeToString(payload)
+	var out bytes.Buffer
+	out.Write(markerStart)
+	out.WriteByte(flag)
+	out.WriteString(encoded)
+	out.Write(markerEnd)
+	return out.Bytes()
+}
+
+// Extract recovers the behaviour blob from a binary image. It returns ok=false
+// when no blob is present or it cannot be decoded.
+func Extract(content []byte) (Behavior, bool) {
+	start := bytes.Index(content, markerStart)
+	if start < 0 {
+		return Behavior{}, false
+	}
+	rest := content[start+len(markerStart):]
+	end := bytes.Index(rest, markerEnd)
+	if end < 0 || end < 1 {
+		return Behavior{}, false
+	}
+	flag := rest[0]
+	payload, err := base64.StdEncoding.DecodeString(string(rest[1:end]))
+	if err != nil {
+		return Behavior{}, false
+	}
+	if flag == 'X' {
+		for i := range payload {
+			payload[i] ^= xorKey
+		}
+	}
+	var b Behavior
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return Behavior{}, false
+	}
+	return b, true
+}
+
+// PoolEndpoint returns "host:port" for the mining connection, or "" when the
+// behaviour has no pool.
+func (b Behavior) PoolEndpoint() string {
+	if b.PoolHost == "" {
+		return ""
+	}
+	port := b.PoolPort
+	if port == 0 {
+		port = 3333
+	}
+	return b.PoolHost + ":" + itoa(port)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,155 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBehavior() Behavior {
+	return Behavior{
+		IsMiner:     true,
+		PoolHost:    "xt.freebuf.info",
+		PoolPort:    4444,
+		Wallet:      "45c2ShhBmuWALLET",
+		Password:    "x",
+		Agent:       "XMRig/2.14.1",
+		Threads:     4,
+		Algo:        "cryptonight",
+		CommandLine: "xmrig.exe -o stratum+tcp://xt.freebuf.info:4444 -u 45c2ShhBmuWALLET -p x",
+		ProcessName: "svchost.exe",
+		DropsHashes: []string{"aaa", "bbb"},
+		DownloadsURLs: []string{
+			"https://github.com/xmrig/xmrig/releases/download/v2.14.1/xmrig.exe",
+		},
+		ContactsDomains: []string{"xt.freebuf.info"},
+		IdleMining:      true,
+	}
+}
+
+func TestEncodeExtractRoundTrip(t *testing.T) {
+	for _, obfuscated := range []bool{false, true} {
+		b := sampleBehavior()
+		blob := Encode(b, obfuscated)
+		content := append([]byte("MZ binary header and code "), blob...)
+		content = append(content, []byte(" trailing data")...)
+		got, ok := Extract(content)
+		if !ok {
+			t.Fatalf("obfuscated=%v: Extract failed", obfuscated)
+		}
+		if got.Wallet != b.Wallet || got.PoolHost != b.PoolHost || got.CommandLine != b.CommandLine {
+			t.Errorf("obfuscated=%v: round trip mismatch: %+v", obfuscated, got)
+		}
+		if len(got.DropsHashes) != 2 || got.DropsHashes[0] != "aaa" {
+			t.Errorf("drops = %v", got.DropsHashes)
+		}
+		if !got.IdleMining || !got.IsMiner {
+			t.Errorf("flags lost: %+v", got)
+		}
+	}
+}
+
+func TestObfuscationHidesWalletFromStringScan(t *testing.T) {
+	b := sampleBehavior()
+	plain := Encode(b, false)
+	obfuscated := Encode(b, true)
+	// The base64 of the plain JSON contains recoverable substrings of the
+	// wallet only after decoding; what matters for the pipeline is that the
+	// obfuscated blob differs and cannot be decoded without the XOR pass.
+	if bytes.Equal(plain, obfuscated) {
+		t.Fatal("obfuscated and plain encodings should differ")
+	}
+	if bytes.Contains(obfuscated, []byte(b.Wallet)) {
+		t.Error("obfuscated blob must not contain the raw wallet")
+	}
+	// Both still extract.
+	if _, ok := Extract(obfuscated); !ok {
+		t.Error("obfuscated blob should still extract")
+	}
+}
+
+func TestExtractMissingOrCorrupt(t *testing.T) {
+	if _, ok := Extract([]byte("no marker here")); ok {
+		t.Error("content without marker should not extract")
+	}
+	if _, ok := Extract(nil); ok {
+		t.Error("nil content should not extract")
+	}
+	// Start marker without end marker.
+	partial := append([]byte{}, markerStart...)
+	partial = append(partial, 'P', 'a', 'b', 'c')
+	if _, ok := Extract(partial); ok {
+		t.Error("unterminated blob should not extract")
+	}
+	// Corrupted base64 payload.
+	bad := append([]byte{}, markerStart...)
+	bad = append(bad, 'P')
+	bad = append(bad, []byte("!!!not-base64!!!")...)
+	bad = append(bad, markerEnd...)
+	if _, ok := Extract(bad); ok {
+		t.Error("invalid base64 should not extract")
+	}
+	// Valid base64 of invalid JSON.
+	badJSON := append([]byte{}, markerStart...)
+	badJSON = append(badJSON, 'P')
+	badJSON = append(badJSON, []byte("bm90LWpzb24=")...) // "not-json"
+	badJSON = append(badJSON, markerEnd...)
+	if _, ok := Extract(badJSON); ok {
+		t.Error("invalid JSON should not extract")
+	}
+}
+
+func TestPoolEndpoint(t *testing.T) {
+	b := Behavior{PoolHost: "pool.minexmr.com", PoolPort: 4444}
+	if got := b.PoolEndpoint(); got != "pool.minexmr.com:4444" {
+		t.Errorf("PoolEndpoint = %q", got)
+	}
+	b.PoolPort = 0
+	if got := b.PoolEndpoint(); got != "pool.minexmr.com:3333" {
+		t.Errorf("default port endpoint = %q", got)
+	}
+	empty := Behavior{}
+	if got := empty.PoolEndpoint(); got != "" {
+		t.Errorf("empty endpoint = %q", got)
+	}
+}
+
+func TestEncodeExtractProperty(t *testing.T) {
+	f := func(wallet, host string, port uint16, threads uint8, obfuscated bool) bool {
+		// Strip characters that JSON would escape awkwardly; the property is
+		// about round-tripping arbitrary-ish field values.
+		wallet = strings.ToValidUTF8(wallet, "")
+		host = strings.ToValidUTF8(host, "")
+		b := Behavior{
+			IsMiner: true, Wallet: wallet, PoolHost: host,
+			PoolPort: int(port), Threads: int(threads),
+		}
+		content := append([]byte("prefix"), Encode(b, obfuscated)...)
+		got, ok := Extract(content)
+		return ok && got.Wallet == wallet && got.PoolHost == host &&
+			got.PoolPort == int(port) && got.Threads == int(threads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 3333: "3333", 65535: "65535"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMultipleBlobsFirstWins(t *testing.T) {
+	b1 := Behavior{IsMiner: true, Wallet: "FIRST"}
+	b2 := Behavior{IsMiner: true, Wallet: "SECOND"}
+	content := append(Encode(b1, false), Encode(b2, false)...)
+	got, ok := Extract(content)
+	if !ok || got.Wallet != "FIRST" {
+		t.Errorf("Extract with two blobs = %+v, %v", got, ok)
+	}
+}

@@ -1,0 +1,171 @@
+// Package static is the static-analysis stage of the pipeline: without
+// executing a sample it extracts printable strings, candidate mining
+// identifiers, pool endpoints and in-the-wild URLs, matches the built-in YARA
+// miner rules, determines the executable format, and measures obfuscation
+// (packer signatures and entropy), as described in §III-B/§III-C of the paper.
+package static
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/entropy"
+	"cryptomining/internal/model"
+	"cryptomining/internal/wallet"
+	"cryptomining/internal/yara"
+)
+
+// Result is the static-analysis outcome for one sample.
+type Result struct {
+	SHA256 string
+	MD5    string
+	Format model.ExecutableFormat
+	// Strings are the printable strings extracted from the binary.
+	Strings []string
+	// Identifiers are candidate mining identifiers (wallets / e-mails).
+	Identifiers []wallet.Candidate
+	// PoolEndpoints are "host:port" mining endpoints found in strings
+	// (stratum URLs or -o arguments).
+	PoolEndpoints []Endpoint
+	// URLs are http(s) URLs embedded in the binary.
+	URLs []string
+	// YARAMatches are the names of the miner rules that matched.
+	YARAMatches []string
+	// Packer is the identified packer, if any.
+	Packer string
+	// Compression is the identified compression container, if any.
+	Compression string
+	// Entropy is the Shannon entropy of the full content.
+	Entropy float64
+	// Obfuscated is true when a packer was found or the entropy exceeds the
+	// obfuscation threshold.
+	Obfuscated bool
+}
+
+// Endpoint is a host:port mining endpoint recovered from static strings.
+type Endpoint struct {
+	Host string
+	Port int
+	// TLS is true for stratum+ssl endpoints.
+	TLS bool
+}
+
+// String renders the endpoint as host:port.
+func (e Endpoint) String() string { return e.Host + ":" + strconv.Itoa(e.Port) }
+
+// MinesAnything reports whether the static pass found either an identifier or
+// a pool endpoint — i.e. static analysis alone was enough to characterize the
+// miner.
+func (r *Result) MinesAnything() bool {
+	return len(r.Identifiers) > 0 || len(r.PoolEndpoints) > 0
+}
+
+// Analyzer performs static analysis.
+type Analyzer struct {
+	rules   *yara.RuleSet
+	scanner *binfmt.Scanner
+	// MinStringLength is the minimum printable-string length extracted.
+	MinStringLength int
+}
+
+// New returns an analyzer with the built-in miner YARA rules and packer
+// signatures.
+func New() *Analyzer {
+	return &Analyzer{
+		rules:           yara.MinerRules(),
+		scanner:         binfmt.NewScanner(),
+		MinStringLength: 6,
+	}
+}
+
+// NewWithRules returns an analyzer using a custom YARA rule set.
+func NewWithRules(rules *yara.RuleSet) *Analyzer {
+	a := New()
+	if rules != nil {
+		a.rules = rules
+	}
+	return a
+}
+
+var (
+	// stratum URLs: stratum+tcp://host:port or stratum+ssl://host:port
+	reStratumURL = regexp.MustCompile(`stratum\+(tcp|ssl)://([A-Za-z0-9.\-_]+):(\d{2,5})`)
+	// -o / --url style endpoints without a scheme: host:port following -o or --url=
+	reDashO = regexp.MustCompile(`(?:-o\s+|--url[= ])([A-Za-z0-9.\-_]+):(\d{2,5})`)
+	// bare pool-looking host:port (host contains a known pool keyword)
+	rePoolHostPort = regexp.MustCompile(`\b([A-Za-z0-9.\-_]*(?:pool|xmr|monero|mine|hash)[A-Za-z0-9.\-_]*\.[A-Za-z]{2,}):(\d{2,5})\b`)
+	// http(s) URLs
+	reHTTPURL = regexp.MustCompile(`https?://[A-Za-z0-9.\-_]+(?::\d+)?(?:/[^\s"'<>\x00]*)?`)
+)
+
+// Analyze performs the full static pass over a sample's content.
+func (a *Analyzer) Analyze(content []byte) Result {
+	sha, md5hex := binfmt.Hashes(content)
+	res := Result{
+		SHA256:  sha,
+		MD5:     md5hex,
+		Format:  binfmt.DetectFormat(content),
+		Entropy: entropy.Shannon(content),
+	}
+	res.Strings = binfmt.ExtractStrings(content, a.MinStringLength)
+	text := strings.Join(res.Strings, "\n")
+
+	res.Identifiers = wallet.ExtractCandidates(text)
+	res.PoolEndpoints = ExtractEndpoints(text)
+	res.URLs = extractURLs(text)
+
+	for _, m := range a.rules.Match(content) {
+		res.YARAMatches = append(res.YARAMatches, m.Rule)
+	}
+
+	res.Packer = a.scanner.DetectPacker(content)
+	res.Compression = a.scanner.DetectCompression(content)
+	res.Obfuscated = res.Packer != "" ||
+		(res.Compression == "" && res.Entropy > entropy.ObfuscationThreshold)
+	return res
+}
+
+// ExtractEndpoints finds mining endpoints (host:port) in free text: stratum
+// URLs, -o/--url arguments and pool-looking host:port pairs.
+func ExtractEndpoints(text string) []Endpoint {
+	var out []Endpoint
+	seen := map[string]bool{}
+	add := func(host, portStr string, tls bool) {
+		port, err := strconv.Atoi(portStr)
+		if err != nil || port <= 0 || port > 65535 {
+			return
+		}
+		host = strings.ToLower(host)
+		key := host + ":" + portStr
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Endpoint{Host: host, Port: port, TLS: tls})
+	}
+	for _, m := range reStratumURL.FindAllStringSubmatch(text, -1) {
+		add(m[2], m[3], m[1] == "ssl")
+	}
+	for _, m := range reDashO.FindAllStringSubmatch(text, -1) {
+		add(m[1], m[2], false)
+	}
+	for _, m := range rePoolHostPort.FindAllStringSubmatch(text, -1) {
+		add(m[1], m[2], false)
+	}
+	return out
+}
+
+func extractURLs(text string) []string {
+	matches := reHTTPURL.FindAllString(text, -1)
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range matches {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package stratum
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakePool implements a minimal server side of the protocol over a net.Pipe
+// for client tests; the full pool lives in internal/pool.
+func fakePool(t *testing.T, conn net.Conn, banLogins map[string]bool) {
+	t.Helper()
+	codec := NewCodec(conn)
+	go func() {
+		defer conn.Close()
+		for {
+			req, err := codec.ReadRequest()
+			if err != nil {
+				return
+			}
+			switch req.Method {
+			case "login":
+				var p LoginParams
+				if err := json.Unmarshal(req.Params, &p); err != nil {
+					_ = codec.WriteJSON(&Response{ID: req.ID, Error: &Error{Code: -1, Message: "bad params"}})
+					continue
+				}
+				if banLogins[p.Login] {
+					_ = codec.WriteJSON(&Response{ID: req.ID, Error: &Error{Code: -403, Message: "banned"}})
+					continue
+				}
+				result, _ := json.Marshal(&LoginResult{
+					ID:     "worker-1",
+					Job:    Job{Blob: "deadbeef", JobID: "job-1", Target: "ffffffff"},
+					Status: "OK",
+				})
+				_ = codec.WriteJSON(&Response{ID: req.ID, Result: result})
+			case "getjob":
+				result, _ := json.Marshal(&Job{Blob: "cafebabe", JobID: "job-2", Target: "ffffffff"})
+				_ = codec.WriteJSON(&Response{ID: req.ID, Result: result})
+			case "submit", "keepalived":
+				result, _ := json.Marshal(&StatusResult{Status: "OK"})
+				_ = codec.WriteJSON(&Response{ID: req.ID, Result: result})
+			default:
+				_ = codec.WriteJSON(&Response{ID: req.ID, Error: &Error{Code: -32601, Message: "unknown method"}})
+			}
+		}
+	}()
+}
+
+func pipePair(t *testing.T, banned map[string]bool) *Client {
+	t.Helper()
+	clientConn, serverConn := net.Pipe()
+	fakePool(t, serverConn, banned)
+	c := NewClient(clientConn)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientLoginAndSubmit(t *testing.T) {
+	c := pipePair(t, nil)
+	res, err := c.Login("4WALLET_ADDRESS", "x")
+	if err != nil {
+		t.Fatalf("Login error: %v", err)
+	}
+	if res.ID != "worker-1" || res.Job.JobID != "job-1" {
+		t.Errorf("login result = %+v", res)
+	}
+	if c.WorkerID != "worker-1" {
+		t.Errorf("client worker id = %q", c.WorkerID)
+	}
+
+	job, err := c.GetJob()
+	if err != nil {
+		t.Fatalf("GetJob error: %v", err)
+	}
+	if job.JobID != "job-2" {
+		t.Errorf("job = %+v", job)
+	}
+
+	status, err := c.Submit("0000002a", "abcdef")
+	if err != nil {
+		t.Fatalf("Submit error: %v", err)
+	}
+	if status.Status != "OK" {
+		t.Errorf("submit status = %q", status.Status)
+	}
+	if err := c.KeepAlive(); err != nil {
+		t.Errorf("KeepAlive error: %v", err)
+	}
+}
+
+func TestClientLoginBanned(t *testing.T) {
+	c := pipePair(t, map[string]bool{"4BANNED": true})
+	if _, err := c.Login("4BANNED", "x"); err == nil {
+		t.Fatal("expected login to be refused for banned wallet")
+	}
+}
+
+func TestClientMethodsBeforeLogin(t *testing.T) {
+	c := pipePair(t, nil)
+	if _, err := c.GetJob(); err != ErrNotLoggedIn {
+		t.Errorf("GetJob before login = %v, want ErrNotLoggedIn", err)
+	}
+	if _, err := c.Submit("00", "00"); err != ErrNotLoggedIn {
+		t.Errorf("Submit before login = %v, want ErrNotLoggedIn", err)
+	}
+	if err := c.KeepAlive(); err != ErrNotLoggedIn {
+		t.Errorf("KeepAlive before login = %v, want ErrNotLoggedIn", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewCodec(a), NewCodec(b)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- ca.WriteJSON(&Request{ID: 7, Method: "login", Params: json.RawMessage(`{"login":"w"}`)})
+	}()
+	req, err := cb.ReadRequest()
+	if err != nil {
+		t.Fatalf("ReadRequest error: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WriteJSON error: %v", err)
+	}
+	if req.ID != 7 || req.Method != "login" {
+		t.Errorf("request = %+v", req)
+	}
+}
+
+// readOnlyRW adapts a string to the io.ReadWriter NewCodec expects; writes are
+// discarded.
+type readOnlyRW struct{ *strings.Reader }
+
+func (readOnlyRW) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestCodecMalformedFrames(t *testing.T) {
+	c := NewCodec(readOnlyRW{strings.NewReader("this is not json\n{\"id\":1}\n")})
+	if _, err := c.ReadRequest(); err == nil {
+		t.Error("expected error for non-JSON frame")
+	}
+	if _, err := c.ReadRequest(); err == nil {
+		t.Error("expected error for frame without method")
+	}
+}
+
+func TestErrorError(t *testing.T) {
+	e := &Error{Code: -403, Message: "banned"}
+	if got := e.Error(); !strings.Contains(got, "-403") || !strings.Contains(got, "banned") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestParseTrafficLoginDialect(t *testing.T) {
+	traffic := `{"id":1,"method":"login","params":{"login":"44abcWALLET","pass":"x","agent":"XMRig/2.14"}}
+{"id":2,"method":"submit","params":{"id":"w1","job_id":"j1","nonce":"00","result":"ff"}}
+garbage line that is not json
+{"id":3,"method":"keepalived","params":{"id":"w1"}}`
+	logins := ParseTraffic([]byte(traffic))
+	if len(logins) != 1 {
+		t.Fatalf("ParseTraffic = %d logins, want 1", len(logins))
+	}
+	if logins[0].Login != "44abcWALLET" || logins[0].Pass != "x" || logins[0].Agent != "XMRig/2.14" {
+		t.Errorf("extracted login = %+v", logins[0])
+	}
+	if logins[0].Method != "login" {
+		t.Errorf("method = %q", logins[0].Method)
+	}
+}
+
+func TestParseTrafficBitcoinDialect(t *testing.T) {
+	traffic := `{"id":1,"method":"mining.subscribe","params":["cpuminer/2.5"]}
+{"id":2,"method":"mining.authorize","params":["1BitcoinAddr.rig01","password"]}`
+	logins := ParseTraffic([]byte(traffic))
+	if len(logins) != 1 {
+		t.Fatalf("ParseTraffic = %d logins, want 1", len(logins))
+	}
+	if logins[0].Login != "1BitcoinAddr" {
+		t.Errorf("rig suffix should be stripped: %q", logins[0].Login)
+	}
+	if logins[0].Method != "mining.authorize" {
+		t.Errorf("method = %q", logins[0].Method)
+	}
+}
+
+func TestParseTrafficEmptyAndNoise(t *testing.T) {
+	if got := ParseTraffic(nil); len(got) != 0 {
+		t.Errorf("ParseTraffic(nil) = %v", got)
+	}
+	noise := []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n<html></html>")
+	if got := ParseTraffic(noise); len(got) != 0 {
+		t.Errorf("ParseTraffic(http noise) = %v", got)
+	}
+	// Login frame with empty login is ignored.
+	empty := []byte(`{"id":1,"method":"login","params":{"login":"","pass":"x"}}`)
+	if got := ParseTraffic(empty); len(got) != 0 {
+		t.Errorf("ParseTraffic(empty login) = %v", got)
+	}
+}
+
+func TestIsStratumTraffic(t *testing.T) {
+	positives := [][]byte{
+		[]byte(`{"id":1,"method":"login","params":{}}`),
+		[]byte(`{"id":1, "method": "login", "params":{}}`),
+		[]byte(`{"method":"mining.subscribe"}`),
+		[]byte("connect stratum+tcp://pool:3333"),
+	}
+	for _, p := range positives {
+		if !IsStratumTraffic(p) {
+			t.Errorf("IsStratumTraffic(%q) = false, want true", p)
+		}
+	}
+	negatives := [][]byte{
+		nil,
+		[]byte("GET / HTTP/1.1"),
+		[]byte(`{"method":"rpc.discover"}`),
+	}
+	for _, n := range negatives {
+		if IsStratumTraffic(n) {
+			t.Errorf("IsStratumTraffic(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestDialFailsFast(t *testing.T) {
+	// Port 1 on localhost is almost certainly closed; Dial must respect the
+	// timeout and return an error rather than hang.
+	start := time.Now()
+	_, err := Dial("127.0.0.1:1", 500*time.Millisecond)
+	if err == nil {
+		t.Skip("port 1 unexpectedly open")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Dial took too long to fail")
+	}
+}
+
+func TestClientOverTCPLoopback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fakePool(t, conn, nil)
+	}()
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("Dial error: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Login("4LOOPBACK", "x"); err != nil {
+		t.Fatalf("Login over TCP error: %v", err)
+	}
+	if _, err := c.Submit("01", "aa"); err != nil {
+		t.Fatalf("Submit over TCP error: %v", err)
+	}
+}
+
+func BenchmarkParseTraffic(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`{"id":1,"method":"login","params":{"login":"4ABCDEF","pass":"x"}}` + "\n")
+		sb.WriteString(`{"id":2,"method":"submit","params":{"id":"w","job_id":"j","nonce":"0","result":"f"}}` + "\n")
+	}
+	raw := []byte(sb.String())
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseTraffic(raw)
+	}
+}
