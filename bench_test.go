@@ -1,6 +1,6 @@
 // Package cryptomining's benchmark harness regenerates every table and figure
 // of the paper's evaluation section (see DESIGN.md for the per-experiment
-// index and EXPERIMENTS.md for paper-vs-measured comparisons).
+// index).
 //
 // Each benchmark prints its table/series once (so that `go test -bench=.`
 // leaves a textual artefact of the regenerated result) and then measures the

@@ -1,7 +1,7 @@
 // Command paperrepro regenerates every table and figure of the paper's
 // evaluation from a synthetic ecosystem and writes them as text files into an
 // output directory (one file per experiment), plus a combined report on
-// stdout. EXPERIMENTS.md records how each output compares to the paper.
+// stdout. DESIGN.md indexes the experiments and the benchmarks backing them.
 //
 // Usage:
 //

@@ -1,0 +1,199 @@
+// Command streamd runs the streaming ingestion engine as a daemon: it
+// generates an ecosim feed, replays it through internal/stream at a
+// configurable rate (unthrottled by default), and serves live ingestion
+// statistics over HTTP while samples land.
+//
+// Endpoints:
+//
+//	GET /stats      live engine counters (samples/sec, per-stage latency,
+//	                campaigns discovered, running profit, backpressure)
+//	GET /campaigns  top campaigns by earnings so far (?n=10)
+//	GET /results    final summary (404 until the replay has drained)
+//	GET /healthz    liveness probe
+//
+// Usage:
+//
+//	streamd -seed 42 -scale 0.25 -shards 0 -rate 0 -http 127.0.0.1:8090
+//
+// With -rate 500 the feed replays at 500 samples/sec, approximating a live
+// malware feed; -rate 0 replays as fast as the stages drain. The process
+// keeps serving stats after the replay finishes; pass -exit-after-drain to
+// terminate instead (useful for scripting and smoke tests).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/model"
+	"cryptomining/internal/stream"
+)
+
+func main() {
+	var (
+		seed           = flag.Int64("seed", 42, "ecosystem generation seed")
+		scale          = flag.Float64("scale", 0.25, "ecosystem scale factor")
+		shards         = flag.Int("shards", 0, "concurrent stage chains (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 64, "bounded channel depth")
+		rate           = flag.Float64("rate", 0, "replay rate in samples/sec (0 = unthrottled)")
+		httpAddr       = flag.String("http", "127.0.0.1:8090", "HTTP stats listen address")
+		topN           = flag.Int("top", 10, "campaigns returned by /campaigns by default")
+		exitAfterDrain = flag.Bool("exit-after-drain", false, "terminate once the replay has drained")
+	)
+	flag.Parse()
+
+	cfg := ecosim.DefaultConfig().Scale(*scale)
+	cfg.Seed = *seed
+	log.Printf("generating ecosystem (seed=%d, scale=%.2f)...", *seed, *scale)
+	u := ecosim.Generate(cfg)
+	log.Printf("feed ready: %d samples, %d ground-truth campaigns", u.Corpus.Len(), len(u.Campaigns))
+
+	streamCfg := core.NewFromUniverse(u).StreamConfig()
+	streamCfg.Shards = *shards // 0 = GOMAXPROCS default
+	streamCfg.QueueDepth = *queue
+	eng := stream.New(streamCfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng.Start(ctx)
+
+	var (
+		mu    sync.Mutex
+		final *stream.Results
+	)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		n := *topN
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+		writeJSON(w, eng.Live(n))
+	})
+	mux.HandleFunc("/results", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		res := final
+		mu.Unlock()
+		if res == nil {
+			http.Error(w, "replay still in flight", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"samples":           len(res.Outcomes),
+			"kept":              len(res.Records),
+			"miners":            len(res.MinerRecords),
+			"campaigns":         len(res.Campaigns),
+			"identifiers":       res.Identifiers,
+			"total_xmr":         res.TotalXMR,
+			"total_usd":         res.TotalUSD,
+			"circulation_share": res.CirculationShare,
+		})
+	})
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("http listen: %v", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("http serve: %v", err)
+		}
+	}()
+	log.Printf("stats API on http://%s (/stats /campaigns /results /healthz)", ln.Addr())
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		if err := replay(ctx, eng, u, *seed, *rate); err != nil {
+			log.Printf("replay aborted: %v", err)
+			return
+		}
+		res, err := eng.Finish(ctx)
+		if err != nil {
+			log.Printf("finish: %v", err)
+			return
+		}
+		mu.Lock()
+		final = res
+		mu.Unlock()
+		st := eng.Stats()
+		log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
+			st.Analyzed, st.Uptime.Round(time.Millisecond), st.SamplesPerSec,
+			len(res.Records), len(res.Campaigns),
+			model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
+	}()
+
+	if *exitAfterDrain {
+		select {
+		case <-drained:
+		case <-ctx.Done():
+		}
+	} else {
+		<-ctx.Done()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+}
+
+// replay submits the corpus in shuffled order, throttled to rate samples/sec
+// when rate > 0.
+func replay(ctx context.Context, eng *stream.Engine, u *ecosim.Universe, seed int64, rate float64) error {
+	hashes := u.Corpus.Hashes()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+
+	var tick <-chan time.Time
+	if rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer t.Stop()
+		tick = t.C
+	}
+	for _, h := range hashes {
+		if tick != nil {
+			select {
+			case <-tick:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		sample, ok := u.Corpus.Get(h)
+		if !ok {
+			continue
+		}
+		if err := eng.Submit(ctx, sample); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

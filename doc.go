@@ -5,8 +5,10 @@
 // The library lives under internal/: substrates (binary analysis, fuzzy
 // hashing, wallet syntax, YARA-like rules, Stratum protocol, DNS and mining
 // pool simulators, AV and OSINT simulation, underground-forum trends, malware
-// feeds) and the measurement core (extraction, campaign aggregation, profit
-// analysis, report datasets). Runnable entry points are under cmd/ and
-// examples/; bench_test.go regenerates every table and figure of the paper's
-// evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// feeds), the measurement core (extraction, campaign aggregation, profit
+// analysis, report datasets) and the streaming ingestion engine
+// (internal/stream: sharded concurrent analysis with incremental campaign
+// aggregation). Runnable entry points are under cmd/ and examples/;
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation. See README.md and DESIGN.md.
 package cryptomining

@@ -92,9 +92,12 @@ func main() {
 	if err := p.BanWallet(campaignWallet, srv.Clock()); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := stratum.Dial(stratumAddr, 2*time.Second); err != nil {
+	// Connections are still accepted after the ban — only the login fails.
+	probe, err := stratum.Dial(stratumAddr, 2*time.Second)
+	if err != nil {
 		log.Fatal(err)
 	}
+	probe.Close()
 	banned, err := stratum.Dial(stratumAddr, 2*time.Second)
 	if err != nil {
 		log.Fatal(err)

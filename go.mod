@@ -1,0 +1,3 @@
+module cryptomining
+
+go 1.24

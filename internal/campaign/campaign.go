@@ -162,86 +162,107 @@ type Result struct {
 	BySample map[string]*model.Campaign
 }
 
+// Link is one grouping-feature edge from a sample node to an infrastructure
+// node, as derived from a single record.
+type Link struct {
+	Node graph.NodeID
+	Kind model.EdgeKind
+}
+
+// DeriveLinks computes the sample node and grouping-feature edges one record
+// contributes to the campaign graph. donationSkipped reports that the record's
+// identifier was dropped by the donation-wallet whitelist. Both the batch
+// BuildGraph and the streaming IncrementalAggregator are built on top of it.
+func (a *Aggregator) DeriveLinks(rec *model.Record) (sampleNode graph.NodeID, links []Link, donationSkipped bool) {
+	kind := model.NodeSample
+	if rec.Type == model.TypeAncillary {
+		kind = model.NodeAncillary
+	}
+	sampleNode = graph.NodeID{Kind: kind, Value: rec.SHA256}
+
+	// Same identifier.
+	if a.cfg.Features.SameIdentifier && rec.HasIdentifier() {
+		if _, isDonation := a.cfg.OSINT.IsDonationWallet(rec.User); isDonation {
+			donationSkipped = true
+		} else {
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeWallet, Value: rec.User}, Kind: model.EdgeSameIdentifier})
+		}
+	}
+
+	// Ancestors: edge to each parent (parents may be miners or
+	// ancillaries; the node kind of the parent does not matter for
+	// connectivity, use Ancillary when the parent is not a known miner).
+	if a.cfg.Features.Ancestors {
+		for _, parent := range rec.Parents {
+			if parent == "" || parent == rec.SHA256 {
+				continue
+			}
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeAncillary, Value: parent}, Kind: model.EdgeAncestor})
+		}
+		for _, child := range rec.Dropped {
+			if child == "" || child == rec.SHA256 {
+				continue
+			}
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeAncillary, Value: child}, Kind: model.EdgeAncestor})
+		}
+	}
+
+	// Hosting servers.
+	if a.cfg.Features.Hosting {
+		hostingKey := a.hostingKeyFunc()
+		for _, itw := range rec.ITWURLs {
+			if key, ok := hostingKey(itw); ok {
+				links = append(links, Link{Node: graph.NodeID{Kind: model.NodeHost, Value: key}, Kind: model.EdgeHosting})
+			}
+		}
+	}
+
+	// Known mining campaigns (OSINT IoCs).
+	if a.cfg.Features.KnownCampaigns {
+		values := []string{rec.SHA256, rec.User, rec.DstIP}
+		values = append(values, rec.DNSRR...)
+		values = append(values, rec.ITWURLs...)
+		for _, op := range a.cfg.OSINT.Operations(values...) {
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeOperation, Value: op}, Kind: model.EdgeKnownCampaign})
+		}
+	}
+
+	// Domain aliases (CNAMEs) of known pools.
+	if a.cfg.Features.CNAMEAliases && a.cfg.AliasDetector != nil {
+		for _, f := range a.cfg.AliasDetector.DetectAll(a.domainsOf(rec)) {
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeDomain, Value: f.Alias}, Kind: model.EdgeCNAMEAlias})
+		}
+	}
+
+	// Mining proxies: the pool endpoint is neither a known pool domain
+	// nor a CNAME alias of one, yet the wallet shows activity at a known
+	// pool (approximated here as: endpoint host not matching any known
+	// pool or alias).
+	if a.cfg.Features.Proxies {
+		if proxyEndpoint, ok := a.proxyEndpoint(rec); ok {
+			links = append(links, Link{Node: graph.NodeID{Kind: model.NodeProxy, Value: proxyEndpoint}, Kind: model.EdgeProxy})
+		}
+	}
+	return sampleNode, links, donationSkipped
+}
+
 // BuildGraph constructs the aggregation graph from the inputs without
 // extracting campaigns; Aggregate is the usual entry point.
 func (a *Aggregator) BuildGraph(inputs []Input) (*graph.Graph, int) {
 	g := graph.New()
 	skippedDonations := 0
-	hostingKey := a.hostingKeyFunc()
-
 	for i := range inputs {
 		rec := &inputs[i].Record
 		if rec.SHA256 == "" {
 			continue
 		}
-		kind := model.NodeSample
-		if rec.Type == model.TypeAncillary {
-			kind = model.NodeAncillary
-		}
-		sampleNode := graph.NodeID{Kind: kind, Value: rec.SHA256}
+		sampleNode, links, donationSkipped := a.DeriveLinks(rec)
 		g.AddNode(sampleNode)
-
-		// Same identifier.
-		if a.cfg.Features.SameIdentifier && rec.HasIdentifier() {
-			if _, isDonation := a.cfg.OSINT.IsDonationWallet(rec.User); isDonation {
-				skippedDonations++
-			} else {
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeWallet, Value: rec.User}, model.EdgeSameIdentifier)
-			}
+		if donationSkipped {
+			skippedDonations++
 		}
-
-		// Ancestors: edge to each parent (parents may be miners or
-		// ancillaries; the node kind of the parent does not matter for
-		// connectivity, use Ancillary when the parent is not a known miner).
-		if a.cfg.Features.Ancestors {
-			for _, parent := range rec.Parents {
-				if parent == "" || parent == rec.SHA256 {
-					continue
-				}
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeAncillary, Value: parent}, model.EdgeAncestor)
-			}
-			for _, child := range rec.Dropped {
-				if child == "" || child == rec.SHA256 {
-					continue
-				}
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeAncillary, Value: child}, model.EdgeAncestor)
-			}
-		}
-
-		// Hosting servers.
-		if a.cfg.Features.Hosting {
-			for _, itw := range rec.ITWURLs {
-				if key, ok := hostingKey(itw); ok {
-					g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeHost, Value: key}, model.EdgeHosting)
-				}
-			}
-		}
-
-		// Known mining campaigns (OSINT IoCs).
-		if a.cfg.Features.KnownCampaigns {
-			values := []string{rec.SHA256, rec.User, rec.DstIP}
-			values = append(values, rec.DNSRR...)
-			values = append(values, rec.ITWURLs...)
-			for _, op := range a.cfg.OSINT.Operations(values...) {
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeOperation, Value: op}, model.EdgeKnownCampaign)
-			}
-		}
-
-		// Domain aliases (CNAMEs) of known pools.
-		if a.cfg.Features.CNAMEAliases && a.cfg.AliasDetector != nil {
-			for _, f := range a.cfg.AliasDetector.DetectAll(a.domainsOf(rec)) {
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeDomain, Value: f.Alias}, model.EdgeCNAMEAlias)
-			}
-		}
-
-		// Mining proxies: the pool endpoint is neither a known pool domain
-		// nor a CNAME alias of one, yet the wallet shows activity at a known
-		// pool (approximated here as: endpoint host not matching any known
-		// pool or alias).
-		if a.cfg.Features.Proxies {
-			if proxyEndpoint, ok := a.proxyEndpoint(rec); ok {
-				g.AddEdge(sampleNode, graph.NodeID{Kind: model.NodeProxy, Value: proxyEndpoint}, model.EdgeProxy)
-			}
+		for _, l := range links {
+			g.AddEdge(sampleNode, l.Node, l.Kind)
 		}
 	}
 	return g, skippedDonations

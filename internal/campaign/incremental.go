@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"sort"
+
+	"cryptomining/internal/graph"
+	"cryptomining/internal/model"
+)
+
+// IncrementalAggregator maintains the campaign partition under a stream of
+// inputs: each Add unions the sample's grouping-feature nodes into the live
+// component structure, so campaigns are updated as samples land instead of
+// re-aggregating the whole corpus. Components only ever grow or merge (the
+// grouping graph is append-only), which is what makes the incremental view
+// exact: after the same set of inputs, Snapshot returns the same campaigns —
+// including the same deterministic IDs — as Aggregator.Aggregate.
+//
+// It is not safe for concurrent use; the streaming engine confines it to a
+// single collector goroutine.
+type IncrementalAggregator struct {
+	agg    *Aggregator
+	graph  *graph.Graph
+	sets   *graph.DisjointSet[graph.NodeID]
+	comps  map[graph.NodeID]*liveComponent
+	inputs map[string]*Input
+
+	skippedDonations int
+	rebuilds         int
+}
+
+// liveComponent is one connected component of the campaign graph, maintained
+// incrementally. campaign caches the last built model.Campaign and is nil
+// while the component is dirty.
+type liveComponent struct {
+	byKind   map[model.NodeKind][]string
+	minNode  graph.NodeID
+	campaign *model.Campaign
+}
+
+// NewIncremental creates an incremental aggregator with the same
+// configuration semantics as New.
+func NewIncremental(cfg Config) *IncrementalAggregator {
+	return &IncrementalAggregator{
+		agg:    New(cfg),
+		graph:  graph.New(),
+		sets:   graph.NewDisjointSet[graph.NodeID](),
+		comps:  map[graph.NodeID]*liveComponent{},
+		inputs: map[string]*Input{},
+	}
+}
+
+// SetAVLabels records AV labels for a sample (PPI-botnet enrichment); call it
+// before Add-ing the sample so the rebuilt campaign sees them.
+func (ia *IncrementalAggregator) SetAVLabels(sha string, labels []string) {
+	if len(labels) == 0 {
+		return
+	}
+	if ia.agg.cfg.AVLabels == nil {
+		ia.agg.cfg.AVLabels = map[string][]string{}
+	}
+	ia.agg.cfg.AVLabels[sha] = labels
+}
+
+func nodeLess(a, b graph.NodeID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Value < b.Value
+}
+
+// find returns the root of x's component, creating a singleton component for
+// unseen nodes.
+func (ia *IncrementalAggregator) find(x graph.NodeID) graph.NodeID {
+	root := ia.sets.Find(x)
+	if _, ok := ia.comps[root]; !ok {
+		ia.comps[root] = &liveComponent{
+			byKind:  map[model.NodeKind][]string{x.Kind: {x.Value}},
+			minNode: x,
+		}
+	}
+	return root
+}
+
+// union merges the components of a and b and returns the surviving root.
+func (ia *IncrementalAggregator) union(a, b graph.NodeID) graph.NodeID {
+	ia.find(a)
+	ia.find(b)
+	root, absorbed, merged := ia.sets.Union(a, b)
+	if !merged {
+		return root
+	}
+	ca, cb := ia.comps[root], ia.comps[absorbed]
+	for kind, values := range cb.byKind {
+		ca.byKind[kind] = append(ca.byKind[kind], values...)
+	}
+	if nodeLess(cb.minNode, ca.minNode) {
+		ca.minNode = cb.minNode
+	}
+	ca.campaign = nil
+	delete(ia.comps, absorbed)
+	return root
+}
+
+// Add feeds one input into the live partition. Inputs arriving for a hash
+// already seen (e.g. first known only as somebody's dropped hash) refresh the
+// component's record view.
+func (ia *IncrementalAggregator) Add(in Input) {
+	rec := &in.Record
+	if rec.SHA256 == "" {
+		return
+	}
+	cp := in
+	ia.inputs[rec.SHA256] = &cp
+
+	sampleNode, links, donationSkipped := ia.agg.DeriveLinks(rec)
+	if donationSkipped {
+		ia.skippedDonations++
+	}
+	ia.graph.AddNode(sampleNode)
+	ia.find(sampleNode)
+	for _, l := range links {
+		ia.graph.AddEdge(sampleNode, l.Node, l.Kind)
+		ia.union(sampleNode, l.Node)
+	}
+	// Invalidate every component that references this hash, under either node
+	// kind: a sample first known as somebody's dropped/parent hash lives in a
+	// component as an (ancillary, hash) node, and that component's cached
+	// campaign went stale the moment the record arrived.
+	for _, kind := range []model.NodeKind{model.NodeSample, model.NodeAncillary} {
+		n := graph.NodeID{Kind: kind, Value: rec.SHA256}
+		if ia.graph.HasNode(n) {
+			ia.comps[ia.find(n)].campaign = nil
+		}
+	}
+}
+
+// Len returns the current number of live components (campaigns).
+func (ia *IncrementalAggregator) Len() int { return len(ia.comps) }
+
+// Rebuilds returns how many component->campaign rebuilds Snapshot performed
+// so far — the work actually done, versus re-aggregating the world each time.
+func (ia *IncrementalAggregator) Rebuilds() int { return ia.rebuilds }
+
+// Snapshot materializes the current partition as an aggregation Result. Only
+// components touched since the previous snapshot are rebuilt; clean components
+// reuse their cached campaign (IDs are refreshed, since insertion of an
+// earlier-sorting component shifts the deterministic numbering).
+func (ia *IncrementalAggregator) Snapshot() *Result {
+	ordered := make([]*liveComponent, 0, len(ia.comps))
+	for _, c := range ia.comps {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return nodeLess(ordered[i].minNode, ordered[j].minNode) })
+
+	res := &Result{
+		Graph:                  ia.graph,
+		DonationWalletsSkipped: ia.skippedDonations,
+		ByWallet:               map[string]*model.Campaign{},
+		BySample:               map[string]*model.Campaign{},
+	}
+	for i, c := range ordered {
+		id := i + 1
+		if c.campaign == nil {
+			c.campaign = ia.agg.buildCampaign(id, &graph.Component{ByKind: c.byKind}, ia.inputs)
+			ia.rebuilds++
+		} else {
+			c.campaign.ID = id
+		}
+		res.Campaigns = append(res.Campaigns, c.campaign)
+		for _, w := range c.campaign.Wallets {
+			res.ByWallet[w] = c.campaign
+		}
+		for _, s := range c.campaign.Samples {
+			res.BySample[s] = c.campaign
+		}
+		for _, s := range c.campaign.Ancillaries {
+			res.BySample[s] = c.campaign
+		}
+	}
+	return res
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/osint"
+)
+
+// synthInputs fabricates records exercising every grouping feature: shared
+// wallets, dropper relations, shared hosting, and plain singletons.
+func synthInputs(n int, rng *rand.Rand) []Input {
+	sha := func(i int) string { return fmt.Sprintf("%064x", i+1) }
+	var ins []Input
+	for i := 0; i < n; i++ {
+		rec := model.Record{SHA256: sha(i), Type: model.TypeMiner}
+		switch i % 4 {
+		case 0: // clusters sharing a wallet
+			rec.User = fmt.Sprintf("4AwalletCluster%02d", i%16)
+			rec.Currency = model.CurrencyMonero
+		case 1: // dropper chains
+			rec.Type = model.TypeAncillary
+			rec.Parents = []string{sha(rng.Intn(n))}
+		case 2: // shared hosting
+			rec.ITWURLs = []string{fmt.Sprintf("http://198.51.100.%d/payload.exe", i%8)}
+		default: // singleton
+			rec.User = fmt.Sprintf("4AwalletSolo%04d", i)
+		}
+		ins = append(ins, Input{Record: rec, GroundTruthID: i % 10})
+	}
+	return ins
+}
+
+// TestIncrementalMatchesBatch feeds the same inputs to the batch aggregator
+// and, in shuffled order, to the incremental one, and requires identical
+// campaigns (including IDs, which both derive from the deterministic
+// smallest-node ordering).
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs := synthInputs(400, rng)
+	cfg := DefaultConfig(osint.NewDefaultStore(), nil, nil)
+
+	batch := New(cfg).Aggregate(inputs)
+
+	shuffled := append([]Input(nil), inputs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	ia := NewIncremental(cfg)
+	var snapshots int
+	for i, in := range shuffled {
+		ia.Add(in)
+		// Interleave snapshots to prove they do not disturb the final state.
+		if i%97 == 0 {
+			_ = ia.Snapshot()
+			snapshots++
+		}
+	}
+	inc := ia.Snapshot()
+
+	if len(inc.Campaigns) != len(batch.Campaigns) {
+		t.Fatalf("campaign count: incremental %d batch %d", len(inc.Campaigns), len(batch.Campaigns))
+	}
+	for i, bc := range batch.Campaigns {
+		ic := inc.Campaigns[i]
+		if ic.ID != bc.ID || !reflect.DeepEqual(ic.Wallets, bc.Wallets) ||
+			!reflect.DeepEqual(ic.Samples, bc.Samples) || !reflect.DeepEqual(ic.Ancillaries, bc.Ancillaries) ||
+			!reflect.DeepEqual(ic.HostingDomains, bc.HostingDomains) ||
+			!reflect.DeepEqual(ic.GroundTruthIDs, bc.GroundTruthIDs) {
+			t.Fatalf("campaign %d differs:\nincremental %+v\nbatch %+v", i, ic, bc)
+		}
+	}
+	if inc.DonationWalletsSkipped != batch.DonationWalletsSkipped {
+		t.Fatalf("donation skips differ")
+	}
+	if got, want := inc.Graph.NodeCount(), batch.Graph.NodeCount(); got != want {
+		t.Fatalf("node count %d != %d", got, want)
+	}
+	if got, want := inc.Graph.EdgeCount(), batch.Graph.EdgeCount(); got != want {
+		t.Fatalf("edge count %d != %d", got, want)
+	}
+	if snapshots < 4 {
+		t.Fatalf("expected interleaved snapshots, got %d", snapshots)
+	}
+	// The incremental path must not rebuild the world on every snapshot: the
+	// final snapshot only rebuilds components dirtied since the previous one.
+	if ia.Rebuilds() >= snapshots*len(batch.Campaigns) {
+		t.Fatalf("rebuilds %d suggest full re-aggregation per snapshot", ia.Rebuilds())
+	}
+}
+
+// TestIncrementalMergeAcrossFeatures checks that a late-arriving record
+// merges two previously distinct campaigns.
+func TestIncrementalMergeAcrossFeatures(t *testing.T) {
+	cfg := DefaultConfig(osint.NewDefaultStore(), nil, nil)
+	ia := NewIncremental(cfg)
+	a := model.Record{SHA256: "aa11", Type: model.TypeMiner, User: "4AwalletAAA111"}
+	// b was dropped by cc33 (its Parents carry the dropper hash, exactly as
+	// the sandbox/feed metadata records it).
+	b := model.Record{SHA256: "bb22", Type: model.TypeMiner, User: "4AwalletBBB222", Parents: []string{"cc33"}}
+	ia.Add(Input{Record: a})
+	ia.Add(Input{Record: b})
+	if got := len(ia.Snapshot().Campaigns); got != 2 {
+		t.Fatalf("expected 2 campaigns before merge, got %d", got)
+	}
+	// The dropper arrives late, carrying wallet A: it bridges the two.
+	bridge := model.Record{
+		SHA256:  "cc33",
+		Type:    model.TypeAncillary,
+		User:    "4AwalletAAA111",
+		Dropped: []string{"bb22"},
+	}
+	ia.Add(Input{Record: bridge})
+	res := ia.Snapshot()
+	if got := len(res.Campaigns); got != 1 {
+		t.Fatalf("expected 1 campaign after merge, got %d", got)
+	}
+	c := res.Campaigns[0]
+	if len(c.Wallets) != 2 {
+		t.Fatalf("merged campaign wallets = %v", c.Wallets)
+	}
+	if res.BySample["bb22"] != c || res.ByWallet["4AwalletAAA111"] != c {
+		t.Fatalf("lookup maps not pointing at merged campaign")
+	}
+}

@@ -3,6 +3,13 @@
 // miner? is it an executable?"), static and dynamic analysis, extraction of
 // wallets and pools, campaign aggregation, enrichment, and profit analysis.
 //
+// Since the streaming refactor the analysis stages live in internal/stream;
+// Pipeline is the batch front-end: it drives the same staged dataflow over a
+// consolidated corpus and returns the assembled Results in one call. Batch
+// runs default to a single shard, so `Run` remains the deterministic
+// single-threaded reference the streaming engine is validated against; set
+// Config.Shards > 1 to run the batch concurrently.
+//
 // The pipeline is agnostic to whether its inputs come from the synthetic
 // ecosystem (internal/ecosim) or from real feeds: it consumes the Feed, AV,
 // DNS, OSINT and pool-directory interfaces defined by the substrate packages.
@@ -10,9 +17,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"cryptomining/internal/avsim"
@@ -20,22 +27,24 @@ import (
 	"cryptomining/internal/dnssim"
 	"cryptomining/internal/ecosim"
 	"cryptomining/internal/exchange"
-	"cryptomining/internal/extract"
 	"cryptomining/internal/feeds"
 	"cryptomining/internal/model"
 	"cryptomining/internal/osint"
 	"cryptomining/internal/pool"
 	"cryptomining/internal/pow"
-	"cryptomining/internal/profit"
-	"cryptomining/internal/sandbox"
-	"cryptomining/internal/static"
+	"cryptomining/internal/stream"
 	"cryptomining/internal/wallet"
 )
 
 // AVProvider supplies antivirus reports for samples.
-type AVProvider interface {
-	Report(sha256Hex string) *model.AVReport
-}
+type AVProvider = stream.AVProvider
+
+// SampleOutcome records what happened to one corpus sample during the sanity
+// checks and analysis.
+type SampleOutcome = stream.SampleOutcome
+
+// Results is the full output of a pipeline run.
+type Results = stream.Results
 
 // Config wires the pipeline's dependencies.
 type Config struct {
@@ -68,6 +77,12 @@ type Config struct {
 	Features *campaign.Features
 	// FuzzyThreshold overrides the stock-tool fuzzy-hash distance threshold.
 	FuzzyThreshold float64
+	// Shards is the number of concurrent analysis chains driven by the
+	// underlying streaming engine. The default of 1 keeps batch runs
+	// single-threaded and bit-reproducible run over run.
+	Shards int
+	// QueueDepth bounds the streaming engine's channels (default 64).
+	QueueDepth int
 }
 
 // scannerAV adapts the avsim scanner + ground truth to AVProvider.
@@ -90,38 +105,18 @@ func NewScannerAV(scanner *avsim.Scanner, truths map[string]avsim.SampleTruth, a
 
 // Pipeline is the configured measurement pipeline.
 type Pipeline struct {
-	cfg      Config
-	analyzer *static.Analyzer
-	sandbox  *sandbox.Sandbox
+	cfg Config
 }
 
 // New creates a pipeline from a configuration. Missing optional dependencies
-// get sensible defaults.
+// get sensible defaults (applied by the streaming engine at run time); the
+// query time is pinned here so repeated Run calls on one pipeline measure at
+// the same instant and stay reproducible.
 func New(cfg Config) *Pipeline {
-	if cfg.MalwareThreshold <= 0 {
-		cfg.MalwareThreshold = avsim.DefaultMalwareThreshold
-	}
-	if cfg.OSINT == nil {
-		cfg.OSINT = osint.NewDefaultStore()
-	}
-	if cfg.Pools == nil {
-		cfg.Pools = pool.NewDirectory(nil)
-	}
-	if cfg.Rates == nil {
-		cfg.Rates = exchange.NewDefaultHistory()
-	}
-	if cfg.Network == nil {
-		cfg.Network = pow.NewMoneroNetwork()
-	}
 	if cfg.QueryTime.IsZero() {
 		cfg.QueryTime = time.Now().UTC()
 	}
-	p := &Pipeline{
-		cfg:      cfg,
-		analyzer: static.New(),
-		sandbox:  sandbox.New(cfg.Resolver),
-	}
-	return p
+	return &Pipeline{cfg: cfg}
 }
 
 // NewFromUniverse wires a pipeline to a generated synthetic ecosystem.
@@ -139,319 +134,54 @@ func NewFromUniverse(u *ecosim.Universe) *Pipeline {
 	})
 }
 
-// SampleOutcome records what happened to one corpus sample during the sanity
-// checks and analysis.
-type SampleOutcome struct {
-	SHA256 string
-	// Executable reports whether the magic-number check passed.
-	Executable bool
-	// Whitelisted marks known stock mining tools.
-	Whitelisted bool
-	// Positives is the AV positives count.
-	Positives int
-	// IsMalware is the outcome of the malware sanity check.
-	IsMalware bool
-	// IsMiner reports whether mining indicators were observed.
-	IsMiner bool
-	// Kept reports whether the sample entered the final dataset.
-	Kept bool
-	// Record is the extraction record (only meaningful when Kept).
-	Record model.Record
-}
-
-// Results is the full output of a pipeline run.
-type Results struct {
-	// Outcomes for every corpus sample, keyed by hash.
-	Outcomes map[string]*SampleOutcome
-	// Records of the kept samples (miners + ancillaries).
-	Records []model.Record
-	// MinerRecords / AncillaryRecords split Records by type.
-	MinerRecords     []model.Record
-	AncillaryRecords []model.Record
-	// Aggregation holds the campaign graph and campaigns.
-	Aggregation *campaign.Result
-	// Campaigns is Aggregation.Campaigns (with profit fields filled).
-	Campaigns []*model.Campaign
-	// Profits are the per-campaign profit summaries (campaigns with earnings).
-	Profits []profit.CampaignProfit
-	// Identifiers counts distinct mining identifiers in the dataset.
-	Identifiers int
-	// TotalXMR is the total XMR attributed to campaigns.
-	TotalXMR float64
-	// TotalUSD is the dynamic-rate USD equivalent.
-	TotalUSD float64
-	// CirculationShare is TotalXMR over the circulating supply at QueryTime.
-	CirculationShare float64
-	// CountsBySource mirrors Table III's source breakdown.
-	CountsBySource map[model.Source]int
-	// CountsByResource counts records per analysis resource.
-	CountsByResource map[model.AnalysisResource]int
-	// QueryTime echoes the configured measurement end.
-	QueryTime time.Time
+// StreamConfig exposes the streaming-engine configuration equivalent to this
+// pipeline (everything but the corpus, which streams in via Submit).
+func (p *Pipeline) StreamConfig() stream.Config {
+	shards := p.cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return stream.Config{
+		AV:               p.cfg.AV,
+		MalwareThreshold: p.cfg.MalwareThreshold,
+		Resolver:         p.cfg.Resolver,
+		Zone:             p.cfg.Zone,
+		OSINT:            p.cfg.OSINT,
+		Pools:            p.cfg.Pools,
+		Rates:            p.cfg.Rates,
+		Network:          p.cfg.Network,
+		QueryTime:        p.cfg.QueryTime,
+		GroundTruth:      p.cfg.GroundTruth,
+		Features:         p.cfg.Features,
+		FuzzyThreshold:   p.cfg.FuzzyThreshold,
+		Shards:           shards,
+		QueueDepth:       p.cfg.QueueDepth,
+	}
 }
 
 // Run executes the pipeline end to end.
 func (p *Pipeline) Run() (*Results, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the pipeline end to end, feeding the corpus through the
+// streaming engine and waiting for the final results.
+func (p *Pipeline) RunContext(ctx context.Context) (*Results, error) {
 	if p.cfg.Corpus == nil {
 		return nil, fmt.Errorf("core: no corpus configured")
 	}
-	res := &Results{
-		Outcomes:         map[string]*SampleOutcome{},
-		CountsBySource:   map[model.Source]int{},
-		CountsByResource: map[model.AnalysisResource]int{},
-		QueryTime:        p.cfg.QueryTime,
-	}
-
-	// Pass 1: sanity checks, analysis and extraction for every sample.
-	hashes := p.cfg.Corpus.Hashes()
-	for _, h := range hashes {
-		sample, _ := p.cfg.Corpus.Get(h)
-		outcome := p.analyzeSample(sample)
-		res.Outcomes[h] = outcome
-	}
-
-	// Pass 2: the illicit-wallet exception. A wallet is illicit when it
-	// appears in a sample that independently passed the malware threshold;
-	// samples below the threshold that carry an illicit wallet are kept.
-	illicit := map[string]bool{}
-	for _, o := range res.Outcomes {
-		if o.IsMalware && o.Record.HasIdentifier() {
-			illicit[o.Record.User] = true
-		}
-	}
-	for _, o := range res.Outcomes {
-		if o.Whitelisted || !o.Executable {
+	eng := stream.New(p.StreamConfig())
+	eng.Start(ctx)
+	for _, h := range p.cfg.Corpus.Hashes() {
+		sample, ok := p.cfg.Corpus.Get(h)
+		if !ok {
 			continue
 		}
-		if !o.IsMalware && o.Positives > 0 && o.Record.HasIdentifier() && illicit[o.Record.User] {
-			o.IsMalware = true
+		if err := eng.Submit(ctx, sample); err != nil {
+			return nil, err
 		}
 	}
-
-	// Pass 3: decide which samples enter the dataset. Miners are malware
-	// with mining indicators; ancillaries are malware connected to miners
-	// through the dropper relation.
-	minerHashes := map[string]bool{}
-	for h, o := range res.Outcomes {
-		if o.IsMalware && o.IsMiner {
-			minerHashes[h] = true
-		}
-	}
-	related := relatedToMiners(res.Outcomes, minerHashes)
-	for h, o := range res.Outcomes {
-		if !o.IsMalware {
-			continue
-		}
-		switch {
-		case minerHashes[h]:
-			o.Kept = true
-			if o.Record.Type != model.TypeMiner {
-				// Mining indicators without a complete (wallet, pool) pair:
-				// keep the sample as an ancillary.
-				o.Record.Type = model.TypeAncillary
-			}
-		case related[h]:
-			o.Kept = true
-			o.Record.Type = model.TypeAncillary
-		}
-	}
-
-	// Collect kept records and dataset statistics.
-	identifierSet := map[string]bool{}
-	for _, h := range hashes {
-		o := res.Outcomes[h]
-		if !o.Kept {
-			continue
-		}
-		res.Records = append(res.Records, o.Record)
-		if o.Record.Type == model.TypeMiner {
-			res.MinerRecords = append(res.MinerRecords, o.Record)
-		} else {
-			res.AncillaryRecords = append(res.AncillaryRecords, o.Record)
-		}
-		if o.Record.HasIdentifier() {
-			identifierSet[o.Record.User] = true
-		}
-		for _, src := range o.Record.Sources {
-			res.CountsBySource[src]++
-		}
-		for _, r := range o.Record.Resources {
-			res.CountsByResource[r]++
-		}
-	}
-	res.Identifiers = len(identifierSet)
-
-	// Aggregation into campaigns.
-	agg := p.newAggregator(res)
-	inputs := make([]campaign.Input, 0, len(res.Records))
-	for _, rec := range res.Records {
-		in := campaign.Input{Record: rec}
-		if sample, ok := p.cfg.Corpus.Get(rec.SHA256); ok {
-			in.Content = sample.Content
-		}
-		if p.cfg.GroundTruth != nil {
-			in.GroundTruthID = p.cfg.GroundTruth[rec.SHA256]
-		}
-		inputs = append(inputs, in)
-	}
-	res.Aggregation = agg.Aggregate(inputs)
-	res.Campaigns = res.Aggregation.Campaigns
-
-	// Profit analysis.
-	collector := profit.NewCollector(p.cfg.Pools, p.cfg.Rates, p.cfg.QueryTime)
-	analyzer := profit.NewAnalyzer(collector)
-	res.Profits = analyzer.AnalyzeCampaigns(res.Campaigns)
-	for _, cp := range res.Profits {
-		res.TotalXMR += cp.XMR
-		res.TotalUSD += cp.USD
-	}
-	res.CirculationShare = profit.CirculationShare(res.TotalXMR, p.cfg.Network, p.cfg.QueryTime)
-	return res, nil
-}
-
-// analyzeSample runs the sanity checks and both analyses over one sample.
-func (p *Pipeline) analyzeSample(sample *model.Sample) *SampleOutcome {
-	o := &SampleOutcome{SHA256: sample.SHA256}
-
-	stat := p.analyzer.Analyze(sample.Content)
-	o.Executable = isExecutableFormat(stat.Format)
-	o.Whitelisted = p.cfg.OSINT.IsWhitelistedHash(sample.SHA256)
-
-	var report *model.AVReport
-	if p.cfg.AV != nil {
-		report = p.cfg.AV.Report(sample.SHA256)
-	} else {
-		report = &model.AVReport{SHA256: sample.SHA256}
-	}
-	o.Positives = report.Positives()
-	cls := avsim.Classify(report, p.cfg.MalwareThreshold, o.Whitelisted, false)
-	o.IsMalware = cls.IsMalware && o.Executable
-
-	dyn := p.sandbox.Run(sample.SHA256, sample.Content)
-	rec := extract.Extract(extract.Inputs{Sample: sample, Static: &stat, Dynamic: dyn, AVReport: report})
-	o.Record = rec
-
-	// Miner indicators: YARA rules, observed Stratum traffic, a recovered
-	// (wallet, pool) pair, known-pool DNS resolutions, or >=threshold
-	// engines labeling the sample as a miner.
-	o.IsMiner = len(stat.YARAMatches) > 0 ||
-		dyn.MiningObserved ||
-		rec.Type == model.TypeMiner ||
-		p.contactsKnownPool(&rec) ||
-		cls.LabeledMiner
-	return o
-}
-
-// contactsKnownPool reports whether any resolved domain belongs to (or aliases)
-// a known mining pool.
-func (p *Pipeline) contactsKnownPool(rec *model.Record) bool {
-	domains := append([]string{}, rec.DNSRR...)
-	if rec.URLPool != "" {
-		host := rec.URLPool
-		if i := strings.LastIndex(host, ":"); i > 0 {
-			host = host[:i]
-		}
-		domains = append(domains, host)
-	}
-	for _, d := range domains {
-		if d == "" {
-			continue
-		}
-		if _, ok := p.cfg.Pools.PoolForDomain(strings.ToLower(d)); ok {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Pipeline) newAggregator(res *Results) *campaign.Aggregator {
-	var detector *dnssim.AliasDetector
-	if p.cfg.Zone != nil {
-		detector = dnssim.NewAliasDetector(p.cfg.Zone, p.cfg.Pools.DomainMap())
-	}
-	cfg := campaign.DefaultConfig(p.cfg.OSINT, detector, p.cfg.Pools.DomainMap())
-	if p.cfg.Features != nil {
-		cfg.Features = *p.cfg.Features
-	}
-	if p.cfg.FuzzyThreshold > 0 {
-		cfg.FuzzyThreshold = p.cfg.FuzzyThreshold
-	}
-	// PPI enrichment from AV labels.
-	cfg.AVLabels = map[string][]string{}
-	if p.cfg.AV != nil {
-		for h, o := range res.Outcomes {
-			if !o.Kept {
-				continue
-			}
-			rep := p.cfg.AV.Report(h)
-			var labels []string
-			for _, v := range rep.Verdicts {
-				if v.Detected && v.Label != "" {
-					labels = append(labels, v.Label)
-				}
-			}
-			if len(labels) > 0 {
-				cfg.AVLabels[h] = labels
-			}
-		}
-	}
-	return campaign.New(cfg)
-}
-
-func isExecutableFormat(f model.ExecutableFormat) bool {
-	switch f {
-	case model.FormatPE, model.FormatELF, model.FormatJAR:
-		return true
-	default:
-		return false
-	}
-}
-
-// relatedToMiners returns the set of sample hashes connected to a miner via
-// the parent/dropped relation (in either direction).
-func relatedToMiners(outcomes map[string]*SampleOutcome, miners map[string]bool) map[string]bool {
-	related := map[string]bool{}
-	// Build adjacency from parents and dropped hashes.
-	adj := map[string][]string{}
-	addEdge := func(a, b string) {
-		if a == "" || b == "" || a == b {
-			return
-		}
-		adj[a] = append(adj[a], b)
-		adj[b] = append(adj[b], a)
-	}
-	for h, o := range outcomes {
-		for _, parent := range o.Record.Parents {
-			addEdge(h, parent)
-		}
-		for _, child := range o.Record.Dropped {
-			addEdge(h, child)
-		}
-	}
-	// BFS from every miner.
-	queue := make([]string, 0, len(miners))
-	for m := range miners {
-		queue = append(queue, m)
-	}
-	visited := map[string]bool{}
-	for _, m := range queue {
-		visited[m] = true
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, next := range adj[cur] {
-			if visited[next] {
-				continue
-			}
-			visited[next] = true
-			if !miners[next] {
-				related[next] = true
-			}
-			queue = append(queue, next)
-		}
-	}
-	return related
+	return eng.Finish(ctx)
 }
 
 // ValidationStats quantifies aggregation quality against the simulator's

@@ -1,0 +1,50 @@
+package graph
+
+// DisjointSet is a generic union-find structure with path compression and
+// union by rank. It backs the batch component extraction, the incremental
+// campaign aggregator and the streaming engine's dropper-relation tracking,
+// so the subtle pointer-juggling lives in exactly one place.
+type DisjointSet[K comparable] struct {
+	parent map[K]K
+	rank   map[K]int
+}
+
+// NewDisjointSet returns an empty disjoint-set forest.
+func NewDisjointSet[K comparable]() *DisjointSet[K] {
+	return &DisjointSet[K]{parent: map[K]K{}, rank: map[K]int{}}
+}
+
+// Find returns the representative of x's set, adding x as a singleton when
+// unseen.
+func (d *DisjointSet[K]) Find(x K) K {
+	if _, ok := d.parent[x]; !ok {
+		d.parent[x] = x
+		return x
+	}
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b. It returns the surviving root, the
+// absorbed former root, and whether a merge happened (false when both were
+// already in the same set), so callers can combine per-set payloads.
+func (d *DisjointSet[K]) Union(a, b K) (root, absorbed K, merged bool) {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return ra, rb, false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return ra, rb, true
+}

@@ -136,61 +136,21 @@ func (c *Component) Values(kind model.NodeKind) []string {
 	return vals
 }
 
-// unionFind is a classic disjoint-set structure with path compression and
-// union by rank.
-type unionFind struct {
-	parent map[NodeID]NodeID
-	rank   map[NodeID]int
-}
-
-func newUnionFind() *unionFind {
-	return &unionFind{parent: map[NodeID]NodeID{}, rank: map[NodeID]int{}}
-}
-
-func (u *unionFind) find(x NodeID) NodeID {
-	if _, ok := u.parent[x]; !ok {
-		u.parent[x] = x
-		return x
-	}
-	root := x
-	for u.parent[root] != root {
-		root = u.parent[root]
-	}
-	for u.parent[x] != root {
-		u.parent[x], x = root, u.parent[x]
-	}
-	return root
-}
-
-func (u *unionFind) union(a, b NodeID) {
-	ra, rb := u.find(a), u.find(b)
-	if ra == rb {
-		return
-	}
-	if u.rank[ra] < u.rank[rb] {
-		ra, rb = rb, ra
-	}
-	u.parent[rb] = ra
-	if u.rank[ra] == u.rank[rb] {
-		u.rank[ra]++
-	}
-}
-
 // ConnectedComponents returns every connected component of the graph. Isolated
 // nodes form singleton components. Components are returned in a deterministic
 // order (by their smallest node).
 func (g *Graph) ConnectedComponents() []*Component {
-	uf := newUnionFind()
+	uf := NewDisjointSet[NodeID]()
 	for n := range g.nodes {
-		uf.find(n)
+		uf.Find(n)
 	}
 	for _, e := range g.edges {
-		uf.union(e.A, e.B)
+		uf.Union(e.A, e.B)
 	}
 
 	groups := map[NodeID][]NodeID{}
 	for n := range g.nodes {
-		root := uf.find(n)
+		root := uf.Find(n)
 		groups[root] = append(groups[root], n)
 	}
 
@@ -207,22 +167,19 @@ func (g *Graph) ConnectedComponents() []*Component {
 			ByKind:    map[model.NodeKind][]string{},
 			EdgeKinds: map[model.EdgeKind]int{},
 		}
-		inComp := map[NodeID]bool{}
 		for _, n := range nodes {
-			inComp[n] = true
 			c.ByKind[n.Kind] = append(c.ByKind[n.Kind], n.Value)
 		}
 		comps = append(comps, c)
-		_ = inComp
 	}
 
 	// Assign edges to their component via the root of either endpoint.
 	rootToComp := map[NodeID]*Component{}
 	for _, c := range comps {
-		rootToComp[uf.find(c.Nodes[0])] = c
+		rootToComp[uf.Find(c.Nodes[0])] = c
 	}
 	for _, e := range g.edges {
-		c := rootToComp[uf.find(e.A)]
+		c := rootToComp[uf.Find(e.A)]
 		c.Edges = append(c.Edges, e)
 		c.EdgeKinds[e.Kind]++
 	}
@@ -255,11 +212,11 @@ func (g *Graph) Subgraph(keepEdge func(Edge) bool) *Graph {
 
 // Stats summarizes the graph for reporting.
 type Stats struct {
-	Nodes      int
-	Edges      int
-	Components int
-	NodesByKind map[model.NodeKind]int
-	EdgesByKind map[model.EdgeKind]int
+	Nodes            int
+	Edges            int
+	Components       int
+	NodesByKind      map[model.NodeKind]int
+	EdgesByKind      map[model.EdgeKind]int
 	LargestComponent int
 }
 

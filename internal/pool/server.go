@@ -33,6 +33,7 @@ type Server struct {
 	httpSrv   *http.Server
 	httpLn    net.Listener
 	wg        sync.WaitGroup
+	conns     map[net.Conn]struct{}
 	closed    bool
 	jobSeq    int
 }
@@ -64,12 +65,38 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		if !s.trackConn(conn) {
+			_ = conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrackConn(conn)
 			s.handleConn(conn)
 		}()
 	}
+}
+
+// trackConn registers an open Stratum connection so Close can tear it down;
+// it reports false when the server is already closed.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // handleConn runs the server side of the Stratum session.
@@ -225,8 +252,10 @@ func (s *Server) handlePoolInfo(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(info)
 }
 
-// Close shuts down the Stratum and HTTP listeners and waits for in-flight
-// handlers to finish.
+// Close shuts down the Stratum and HTTP listeners, disconnects any open
+// Stratum sessions (clients that never hung up would otherwise keep their
+// handler blocked in a read forever) and waits for in-flight handlers to
+// finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -235,9 +264,16 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	stratumLn, httpSrv := s.stratumLn, s.httpSrv
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	if stratumLn != nil {
 		_ = stratumLn.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
 	}
 	if httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

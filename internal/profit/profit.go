@@ -12,6 +12,7 @@ package profit
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"cryptomining/internal/exchange"
@@ -114,6 +115,43 @@ func (c *Collector) CollectWallets(wallets []string) map[string]WalletActivity {
 	return out
 }
 
+// CachedCollector memoizes CollectWallet per wallet. Pool ledgers are fixed
+// for a given query time, so a wallet's activity never changes within one
+// measurement — the streaming engine shares one cache across every
+// incremental campaign-profit refresh. Safe for concurrent use.
+type CachedCollector struct {
+	collector *Collector
+	mu        sync.Mutex
+	cache     map[string]WalletActivity
+}
+
+// NewCachedCollector wraps a collector with a per-wallet memo.
+func NewCachedCollector(c *Collector) *CachedCollector {
+	return &CachedCollector{collector: c, cache: map[string]WalletActivity{}}
+}
+
+// CollectWallet returns the (possibly cached) activity of one wallet.
+func (cc *CachedCollector) CollectWallet(wallet string) WalletActivity {
+	cc.mu.Lock()
+	act, ok := cc.cache[wallet]
+	cc.mu.Unlock()
+	if ok {
+		return act
+	}
+	act = cc.collector.CollectWallet(wallet)
+	cc.mu.Lock()
+	cc.cache[wallet] = act
+	cc.mu.Unlock()
+	return act
+}
+
+// Size returns the number of cached wallets.
+func (cc *CachedCollector) Size() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.cache)
+}
+
 // CampaignProfit is the per-campaign profit summary (Table VIII rows).
 type CampaignProfit struct {
 	Campaign *model.Campaign
@@ -124,7 +162,7 @@ type CampaignProfit struct {
 	// the query time.
 	ActiveAt bool
 	// PoolsUsed is the number of distinct pools with activity.
-	PoolsUsed int
+	PoolsUsed    int
 	FirstPayment time.Time
 	LastPayment  time.Time
 }
@@ -142,52 +180,69 @@ type Analyzer struct {
 // NewAnalyzer wraps a collector.
 func NewAnalyzer(c *Collector) *Analyzer { return &Analyzer{Collector: c} }
 
-// AnalyzeCampaigns collects activity for every wallet of every campaign and
-// fills the campaigns' profit fields. It returns the per-campaign profits for
-// campaigns with any earnings.
-func (a *Analyzer) AnalyzeCampaigns(campaigns []*model.Campaign) []CampaignProfit {
+// AnalyzeCampaignWith computes one campaign's profit summary using an
+// arbitrary wallet-activity source (e.g. a CachedCollector shared across
+// incremental refreshes) and fills the campaign's profit fields. Summation
+// runs over c.Wallets in order, so the result is bit-identical no matter how
+// often or in which order campaigns are (re)analyzed.
+func AnalyzeCampaignWith(c *model.Campaign, collect func(wallet string) WalletActivity, queryTime time.Time) CampaignProfit {
+	cp := CampaignProfit{Campaign: c}
+	poolSet := map[string]bool{}
+	for _, w := range c.Wallets {
+		act := collect(w)
+		cp.XMR += act.TotalXMR
+		cp.USD += act.TotalUSD
+		cp.Payments = append(cp.Payments, act.Payments...)
+		for _, p := range act.Pools {
+			poolSet[p] = true
+		}
+		if !act.LastShare.IsZero() && queryTime.Sub(act.LastShare) <= ActiveWindow {
+			cp.ActiveAt = true
+		}
+	}
+	cp.PoolsUsed = len(poolSet)
+	sort.Slice(cp.Payments, func(i, j int) bool { return cp.Payments[i].Timestamp.Before(cp.Payments[j].Timestamp) })
+	if len(cp.Payments) > 0 {
+		cp.FirstPayment = cp.Payments[0].Timestamp
+		cp.LastPayment = cp.Payments[len(cp.Payments)-1].Timestamp
+	}
+	// Fill the campaign's own profit fields.
+	c.XMRMined = cp.XMR
+	c.USDEarned = cp.USD
+	c.PaymentCount = len(cp.Payments)
+	c.Active = cp.ActiveAt
+	// Merge the pools discovered through payments into the campaign's
+	// pool list (a wallet may pay out at a pool no sample pointed to
+	// directly, e.g. behind a proxy). SortStrings dedups, so re-merging on
+	// an incremental refresh is idempotent.
+	merged := append([]string{}, c.Pools...)
+	for p := range poolSet {
+		merged = append(merged, p)
+	}
+	c.Pools = model.SortStrings(merged)
+	return cp
+}
+
+// AnalyzeCampaignsWith runs AnalyzeCampaignWith over every campaign and
+// returns the per-campaign profits for campaigns with any earnings, sorted by
+// XMR descending.
+func AnalyzeCampaignsWith(campaigns []*model.Campaign, collect func(wallet string) WalletActivity, queryTime time.Time) []CampaignProfit {
 	var out []CampaignProfit
 	for _, c := range campaigns {
-		cp := CampaignProfit{Campaign: c}
-		poolSet := map[string]bool{}
-		for _, w := range c.Wallets {
-			act := a.Collector.CollectWallet(w)
-			cp.XMR += act.TotalXMR
-			cp.USD += act.TotalUSD
-			cp.Payments = append(cp.Payments, act.Payments...)
-			for _, p := range act.Pools {
-				poolSet[p] = true
-			}
-			if !act.LastShare.IsZero() && a.Collector.QueryTime.Sub(act.LastShare) <= ActiveWindow {
-				cp.ActiveAt = true
-			}
-		}
-		cp.PoolsUsed = len(poolSet)
-		sort.Slice(cp.Payments, func(i, j int) bool { return cp.Payments[i].Timestamp.Before(cp.Payments[j].Timestamp) })
-		if len(cp.Payments) > 0 {
-			cp.FirstPayment = cp.Payments[0].Timestamp
-			cp.LastPayment = cp.Payments[len(cp.Payments)-1].Timestamp
-		}
-		// Fill the campaign's own profit fields.
-		c.XMRMined = cp.XMR
-		c.USDEarned = cp.USD
-		c.PaymentCount = len(cp.Payments)
-		c.Active = cp.ActiveAt
-		// Merge the pools discovered through payments into the campaign's
-		// pool list (a wallet may pay out at a pool no sample pointed to
-		// directly, e.g. behind a proxy).
-		merged := append([]string{}, c.Pools...)
-		for p := range poolSet {
-			merged = append(merged, p)
-		}
-		c.Pools = model.SortStrings(merged)
-
+		cp := AnalyzeCampaignWith(c, collect, queryTime)
 		if cp.XMR > 0 {
 			out = append(out, cp)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].XMR > out[j].XMR })
 	return out
+}
+
+// AnalyzeCampaigns collects activity for every wallet of every campaign and
+// fills the campaigns' profit fields. It returns the per-campaign profits for
+// campaigns with any earnings.
+func (a *Analyzer) AnalyzeCampaigns(campaigns []*model.Campaign) []CampaignProfit {
+	return AnalyzeCampaignsWith(campaigns, a.Collector.CollectWallet, a.Collector.QueryTime)
 }
 
 // TopCampaigns returns the n highest-earning campaigns (Table VIII).

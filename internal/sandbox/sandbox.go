@@ -51,13 +51,13 @@ type DNSQuery struct {
 
 // Report is the dynamic-analysis result for one sample.
 type Report struct {
-	SHA256     string
-	StartedAt  time.Time
-	Duration   time.Duration
-	Processes  []Process
-	Connections []Connection
-	DNS        []DNSQuery
-	DroppedHashes []string
+	SHA256         string
+	StartedAt      time.Time
+	Duration       time.Duration
+	Processes      []Process
+	Connections    []Connection
+	DNS            []DNSQuery
+	DroppedHashes  []string
 	DownloadedURLs []string
 	// MiningObserved is true when Stratum traffic was captured.
 	MiningObserved bool
@@ -85,10 +85,16 @@ func (r *Report) NetworkCapture() []byte {
 	return b
 }
 
+// Resolver is the DNS dependency of the sandbox. *dnssim.Resolver implements
+// it; the streaming engine substitutes a per-shard caching wrapper.
+type Resolver interface {
+	Resolve(name string) (dnssim.Resolution, error)
+}
+
 // Sandbox executes samples against a simulated network environment.
 type Sandbox struct {
 	// Resolver resolves the domains the sample contacts; nil disables DNS.
-	Resolver *dnssim.Resolver
+	Resolver Resolver
 	// Clock provides the execution timestamp.
 	Clock func() time.Time
 	// ExecutionTime is the simulated duration of a run.
@@ -97,6 +103,15 @@ type Sandbox struct {
 
 // New returns a sandbox using the given resolver.
 func New(resolver *dnssim.Resolver) *Sandbox {
+	s := NewWithResolver(nil)
+	if resolver != nil {
+		s.Resolver = resolver
+	}
+	return s
+}
+
+// NewWithResolver returns a sandbox over any Resolver implementation.
+func NewWithResolver(resolver Resolver) *Sandbox {
 	return &Sandbox{
 		Resolver:      resolver,
 		Clock:         time.Now,

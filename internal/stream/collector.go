@@ -1,0 +1,341 @@
+package stream
+
+import (
+	"sort"
+
+	"cryptomining/internal/campaign"
+	"cryptomining/internal/graph"
+	"cryptomining/internal/model"
+	"cryptomining/internal/profit"
+)
+
+// collector owns every piece of cross-sample state the batch pipeline
+// computed in separate whole-corpus passes, and maintains it incrementally:
+//
+//   - the illicit-wallet exception (a below-threshold sample carrying a
+//     wallet already seen in confirmed malware is retroactively kept);
+//   - dropper-relation reachability (malware connected to a miner through
+//     the parent/dropped graph is kept as ancillary), via a union-find over
+//     sample hashes with a per-component "contains a miner" flag;
+//   - the campaign partition (campaign.IncrementalAggregator);
+//   - per-campaign profit, through a shared per-wallet activity cache.
+//
+// All rules are monotone — outcomes only ever flip toward malware, the keep
+// set only grows, components only merge — which is why applying them at each
+// arrival reaches exactly the fixpoint the batch passes compute at the end.
+// The collector runs in a single goroutine; the engine serializes external
+// reads (Stats, live snapshots, finalize) with its mutex.
+type collector struct {
+	e *Engine
+
+	outcomes map[string]*SampleOutcome
+	// pending holds what the aggregation will need should a sample be kept
+	// later (content for fuzzy-hash attribution, AV labels for PPI
+	// enrichment); entries are dropped once fed to the aggregator.
+	pending map[string]pendingInput
+	// byWallet indexes outcomes carrying an identifier, for retroactive
+	// illicit-wallet flips.
+	byWallet map[string][]*SampleOutcome
+	illicit  map[string]bool
+
+	// rel is the union-find over sample hashes for the parent/dropped
+	// relation.
+	rel *graph.DisjointSet[string]
+	// relMiner flags roots whose component contains a kept miner.
+	relMiner map[string]bool
+	// relWaiting holds malware outcomes parked until their component gains a
+	// miner.
+	relWaiting map[string][]*SampleOutcome
+
+	agg     *campaign.IncrementalAggregator
+	wallets *profit.CachedCollector
+	// seenWallets tracks distinct non-donation identifiers across kept
+	// records, for the live profit running totals.
+	seenWallets map[string]bool
+	// profitCache memoizes per-campaign profit for live views; entries are
+	// keyed by campaign pointer, so a rebuilt (dirty) campaign naturally
+	// misses and gets re-priced.
+	profitCache map[*model.Campaign]profit.CampaignProfit
+}
+
+type pendingInput struct {
+	content []byte
+	labels  []string
+}
+
+func newCollector(e *Engine) *collector {
+	return &collector{
+		e:           e,
+		outcomes:    map[string]*SampleOutcome{},
+		pending:     map[string]pendingInput{},
+		byWallet:    map[string][]*SampleOutcome{},
+		illicit:     map[string]bool{},
+		rel:         graph.NewDisjointSet[string](),
+		relMiner:    map[string]bool{},
+		relWaiting:  map[string][]*SampleOutcome{},
+		agg:         campaign.NewIncremental(aggregatorConfig(e.cfg)),
+		wallets:     profit.NewCachedCollector(profit.NewCollector(e.cfg.Pools, e.cfg.Rates, e.cfg.QueryTime)),
+		seenWallets: map[string]bool{},
+		profitCache: map[*model.Campaign]profit.CampaignProfit{},
+	}
+}
+
+// handle processes one analyzed sample: records it, wires it into the
+// relation graph, applies the illicit-wallet exception in both directions,
+// and decides (possibly retroactively, for earlier samples) what is kept.
+func (c *collector) handle(it *item) {
+	o := it.outcome
+	h := it.key
+	if _, seen := c.outcomes[h]; seen {
+		// A continuous feed re-observes samples; the dataset is defined over
+		// distinct hashes (feed consolidation dedups upstream in batch mode),
+		// so resubmissions must not double-feed the aggregation or stats.
+		c.e.stats.duplicates.Add(1)
+		return
+	}
+	c.outcomes[h] = o
+	c.pending[h] = pendingInput{content: it.sample.Content, labels: it.labels}
+
+	if o.Record.HasIdentifier() {
+		c.byWallet[o.Record.User] = append(c.byWallet[o.Record.User], o)
+	}
+
+	// Relation edges come from every outcome, kept or not: a benign-looking
+	// intermediary still connects a dropper to its payload. Hashes are
+	// case-normalized into the same namespace as the sample keys.
+	for _, parent := range o.Record.Parents {
+		c.relUnion(h, lowerHash(parent))
+	}
+	for _, child := range o.Record.Dropped {
+		c.relUnion(h, lowerHash(child))
+	}
+
+	// Illicit-wallet exception, both directions: the arriving sample may be
+	// upgraded by an already-illicit wallet, and its own wallet may upgrade
+	// samples that arrived before it.
+	c.maybeFlip(o)
+	if o.IsMalware && o.Record.HasIdentifier() {
+		c.markIllicit(o.Record.User)
+	}
+
+	c.decideKeep(o, h)
+
+	// Bound memory on long-running ingestions: content is only retained for
+	// samples that can still enter the dataset. Anything failing the flip
+	// preconditions for good (benign, non-executable, whitelisted, no
+	// identifier) can never be kept, so its body is released immediately.
+	if !o.Kept && !c.retainable(o) {
+		delete(c.pending, h)
+	}
+}
+
+// retainable reports whether a not-(yet-)kept outcome may still be kept
+// later: confirmed malware parked on the dropper relation, or a sample still
+// eligible for the illicit-wallet flip.
+func (c *collector) retainable(o *SampleOutcome) bool {
+	if o.IsMalware {
+		return true
+	}
+	return !o.Whitelisted && o.Executable && o.Positives > 0 && o.Record.HasIdentifier()
+}
+
+// maybeFlip applies the illicit-wallet exception to one outcome: a sample
+// below the malware threshold but with at least one positive, carrying a
+// wallet independently confirmed as illicit, counts as malware.
+func (c *collector) maybeFlip(o *SampleOutcome) {
+	if o.Whitelisted || !o.Executable {
+		return
+	}
+	if !o.IsMalware && o.Positives > 0 && o.Record.HasIdentifier() && c.illicit[o.Record.User] {
+		o.IsMalware = true
+		c.e.stats.flips.Add(1)
+	}
+}
+
+// markIllicit registers a wallet seen in confirmed malware and retroactively
+// upgrades earlier below-threshold samples carrying it.
+func (c *collector) markIllicit(wallet string) {
+	if wallet == "" || c.illicit[wallet] {
+		return
+	}
+	c.illicit[wallet] = true
+	for _, cand := range c.byWallet[wallet] {
+		if cand.IsMalware {
+			continue
+		}
+		c.maybeFlip(cand)
+		if cand.IsMalware {
+			c.decideKeep(cand, keyOf(cand))
+		}
+	}
+}
+
+func keyOf(o *SampleOutcome) string { return lowerHash(o.SHA256) }
+
+// decideKeep applies the dataset-membership rule to a (newly) malware
+// outcome: miners are kept outright (and seed their component's miner flag);
+// other malware is kept as ancillary once its component contains a miner,
+// and parked otherwise.
+func (c *collector) decideKeep(o *SampleOutcome, h string) {
+	if o.Kept || !o.IsMalware {
+		return
+	}
+	root := c.relFind(h)
+	switch {
+	case o.IsMiner:
+		o.Kept = true
+		if o.Record.Type != model.TypeMiner {
+			// Mining indicators without a complete (wallet, pool) pair:
+			// keep the sample as an ancillary.
+			o.Record.Type = model.TypeAncillary
+		}
+		c.keep(o)
+		if !c.relMiner[root] {
+			c.relMiner[root] = true
+			c.releaseWaiting(root)
+		}
+	case c.relMiner[root]:
+		o.Kept = true
+		o.Record.Type = model.TypeAncillary
+		c.keep(o)
+	default:
+		c.relWaiting[root] = append(c.relWaiting[root], o)
+	}
+}
+
+// releaseWaiting keeps every malware outcome parked on a component that just
+// gained a miner.
+func (c *collector) releaseWaiting(root string) {
+	waiting := c.relWaiting[root]
+	if len(waiting) == 0 {
+		return
+	}
+	delete(c.relWaiting, root)
+	for _, o := range waiting {
+		if o.Kept {
+			continue
+		}
+		o.Kept = true
+		o.Record.Type = model.TypeAncillary
+		c.keep(o)
+	}
+}
+
+// keep feeds one kept outcome into the incremental aggregation and the live
+// profit totals.
+func (c *collector) keep(o *SampleOutcome) {
+	h := keyOf(o)
+	pc := c.pending[h]
+	delete(c.pending, h)
+	c.agg.SetAVLabels(o.SHA256, pc.labels)
+	in := campaign.Input{Record: o.Record, Content: pc.content}
+	if c.e.cfg.GroundTruth != nil {
+		in.GroundTruthID = c.e.cfg.GroundTruth[o.Record.SHA256]
+	}
+	c.agg.Add(in)
+
+	c.e.stats.kept.Add(1)
+	if o.Record.Type == model.TypeMiner {
+		c.e.stats.miners.Add(1)
+	}
+	c.e.stats.campaigns.Store(int64(c.agg.Len()))
+
+	// Live profit running totals: first sighting of a (non-donation) wallet
+	// pulls its pool activity through the shared cache.
+	if o.Record.HasIdentifier() && !c.seenWallets[o.Record.User] {
+		c.seenWallets[o.Record.User] = true
+		if _, donation := c.e.cfg.OSINT.IsDonationWallet(o.Record.User); !donation {
+			act := c.wallets.CollectWallet(o.Record.User)
+			c.e.stats.wallets.Add(1)
+			c.e.stats.addLiveProfit(act.TotalXMR, act.TotalUSD)
+		}
+	}
+}
+
+// relFind returns the relation-component root of a sample hash.
+func (c *collector) relFind(x string) string { return c.rel.Find(x) }
+
+// relUnion merges the components of two related sample hashes, combining the
+// miner flag and the parked outcomes — and releasing the latter when the
+// merge connects them to a miner.
+func (c *collector) relUnion(a, b string) {
+	if a == "" || b == "" || a == b {
+		return
+	}
+	root, absorbed, merged := c.rel.Union(a, b)
+	if !merged {
+		return
+	}
+	miner := c.relMiner[root] || c.relMiner[absorbed]
+	c.relMiner[root] = miner
+	delete(c.relMiner, absorbed)
+	if waiting := c.relWaiting[absorbed]; len(waiting) > 0 {
+		c.relWaiting[root] = append(c.relWaiting[root], waiting...)
+		delete(c.relWaiting, absorbed)
+	}
+	if miner {
+		c.releaseWaiting(root)
+	}
+}
+
+// finalize assembles the full Results from the collector's state. Everything
+// derived here iterates in deterministic (sorted) order, so the output is
+// bit-identical regardless of arrival order or shard count.
+func (c *collector) finalize() *Results {
+	res := &Results{
+		Outcomes:         c.outcomes,
+		CountsBySource:   map[model.Source]int{},
+		CountsByResource: map[model.AnalysisResource]int{},
+		QueryTime:        c.e.cfg.QueryTime,
+	}
+	hashes := make([]string, 0, len(c.outcomes))
+	for h := range c.outcomes {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+
+	identifierSet := map[string]bool{}
+	for _, h := range hashes {
+		o := c.outcomes[h]
+		if !o.Kept {
+			continue
+		}
+		res.Records = append(res.Records, o.Record)
+		if o.Record.Type == model.TypeMiner {
+			res.MinerRecords = append(res.MinerRecords, o.Record)
+		} else {
+			res.AncillaryRecords = append(res.AncillaryRecords, o.Record)
+		}
+		if o.Record.HasIdentifier() {
+			identifierSet[o.Record.User] = true
+		}
+		for _, src := range o.Record.Sources {
+			res.CountsBySource[src]++
+		}
+		for _, r := range o.Record.Resources {
+			res.CountsByResource[r]++
+		}
+	}
+	res.Identifiers = len(identifierSet)
+
+	res.Aggregation = c.agg.Snapshot()
+	res.Campaigns = res.Aggregation.Campaigns
+	// Price every campaign once and seed the live-view cache with the final
+	// figures: Live calls after Finish then only read, never re-price — they
+	// must not mutate campaigns shared with the returned Results.
+	c.profitCache = make(map[*model.Campaign]profit.CampaignProfit, len(res.Campaigns))
+	for _, cam := range res.Campaigns {
+		cp := profit.AnalyzeCampaignWith(cam, c.wallets.CollectWallet, c.e.cfg.QueryTime)
+		c.profitCache[cam] = cp
+		if cp.XMR > 0 {
+			res.Profits = append(res.Profits, cp)
+		}
+	}
+	sort.Slice(res.Profits, func(i, j int) bool { return res.Profits[i].XMR > res.Profits[j].XMR })
+	for _, cp := range res.Profits {
+		res.TotalXMR += cp.XMR
+		res.TotalUSD += cp.USD
+	}
+	res.CirculationShare = profit.CirculationShare(res.TotalXMR, c.e.cfg.Network, c.e.cfg.QueryTime)
+	return res
+}

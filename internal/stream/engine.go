@@ -1,0 +1,310 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cryptomining/internal/binfmt"
+	"cryptomining/internal/model"
+	"cryptomining/internal/profit"
+	"cryptomining/internal/static"
+)
+
+// ErrNotStarted is returned by Submit/Finish before Start.
+var ErrNotStarted = errors.New("stream: engine not started")
+
+// Engine is the streaming ingestion engine. Typical use:
+//
+//	eng := stream.New(cfg)
+//	eng.Start(ctx)
+//	for _, s := range samples { eng.Submit(ctx, s) }
+//	res, err := eng.Finish(ctx)
+//
+// Submit blocks when the bounded dataflow is full (backpressure). Stats and
+// Live may be called at any time from any goroutine.
+type Engine struct {
+	cfg      Config
+	analyzer *static.Analyzer
+	stats    *counters
+
+	in       chan *item
+	outcomes chan *item
+	shards   []*shard
+
+	// mu serializes the collector's mutations with external reads (live
+	// snapshots, finalize).
+	mu  sync.Mutex
+	col *collector
+
+	runCtx     context.Context
+	startOnce  sync.Once
+	finishOnce sync.Once
+	done       chan struct{}
+	started    bool
+	// submitMu orders Submit against Finish: Finish takes the write lock to
+	// set finishing before closing the intake, so a concurrent Submit either
+	// completes its send first or observes the flag and errors — never a
+	// send on a closed channel.
+	submitMu  sync.RWMutex
+	finishing atomic.Bool
+}
+
+// New creates an engine; call Start before submitting.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		analyzer: static.New(),
+		stats:    newCounters(),
+		in:       make(chan *item, cfg.QueueDepth),
+		outcomes: make(chan *item, cfg.QueueDepth),
+		done:     make(chan struct{}),
+	}
+	e.col = newCollector(e)
+	return e
+}
+
+// Start launches the dispatcher, the sharded stage chains and the collector.
+// It is idempotent; the first context wins and cancels the whole dataflow.
+func (e *Engine) Start(ctx context.Context) {
+	e.startOnce.Do(func() {
+		e.runCtx = ctx
+		e.started = true
+		e.stats.start = time.Now()
+
+		// Every stage owns (and closes) the channel it writes to, except the
+		// final enrich stages, which share the engine-wide outcomes channel:
+		// those join enrichWG so the channel closes once ALL shards drain.
+		var enrichWG sync.WaitGroup
+		for i := 0; i < e.cfg.Shards; i++ {
+			s := newShard(e)
+			e.shards = append(e.shards, s)
+			for st := 0; st < numStages-1; st++ {
+				go e.runStage(ctx, st, s.chans[st], s.chans[st+1], true, s.stageFn(st), nil)
+			}
+			enrichWG.Add(1)
+			go e.runStage(ctx, numStages-1, s.chans[numStages-1], e.outcomes, false, s.stageFn(numStages-1), &enrichWG)
+		}
+		go func() {
+			enrichWG.Wait()
+			close(e.outcomes)
+		}()
+		go e.dispatch(ctx)
+		go e.collect(ctx)
+	})
+}
+
+// runStage pumps items through one stage, recording per-stage latency.
+func (e *Engine) runStage(ctx context.Context, idx int, in <-chan *item, out chan<- *item, closeOut bool, fn func(*item), wg *sync.WaitGroup) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	if closeOut {
+		defer close(out)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case it, ok := <-in:
+			if !ok {
+				return
+			}
+			t0 := time.Now()
+			fn(it)
+			e.stats.observeStage(idx, time.Since(t0))
+			select {
+			case out <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// dispatch routes submitted samples to their shard by SHA-256, so all state
+// keyed by hash stays shard-local.
+func (e *Engine) dispatch(ctx context.Context) {
+	defer func() {
+		for _, s := range e.shards {
+			close(s.in)
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case it, ok := <-e.in:
+			if !ok {
+				return
+			}
+			s := e.shards[shardIndex(it.key, len(e.shards))]
+			select {
+			case s.in <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// collect drains analyzed samples into the collector.
+func (e *Engine) collect(ctx context.Context) {
+	defer close(e.done)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case it, ok := <-e.outcomes:
+			if !ok {
+				return
+			}
+			e.mu.Lock()
+			e.col.handle(it)
+			e.mu.Unlock()
+			e.stats.analyzed.Add(1)
+		}
+	}
+}
+
+func shardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+func lowerHash(sha string) string { return strings.ToLower(sha) }
+
+// Submit feeds one sample into the dataflow, blocking under backpressure.
+// Samples without a SHA256 are hashed from their content.
+func (e *Engine) Submit(ctx context.Context, sample *model.Sample) error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	if e.finishing.Load() {
+		return errors.New("stream: submit after Finish")
+	}
+	if sample == nil {
+		return errors.New("stream: nil sample")
+	}
+	sha := sample.SHA256
+	if sha == "" {
+		if len(sample.Content) == 0 {
+			return errors.New("stream: sample without hash or content")
+		}
+		hashed := *sample
+		hashed.SHA256, hashed.MD5 = binfmt.Hashes(sample.Content)
+		sample = &hashed
+		sha = sample.SHA256
+	}
+	it := &item{sample: sample, key: lowerHash(sha)}
+	select {
+	case e.in <- it:
+		e.stats.submitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.runCtx.Done():
+		return e.runCtx.Err()
+	}
+}
+
+// Finish closes the intake, waits for the dataflow to drain and returns the
+// final results. Submits racing with Finish either land before the intake
+// closes or return an error.
+func (e *Engine) Finish(ctx context.Context) (*Results, error) {
+	if !e.started {
+		return nil, ErrNotStarted
+	}
+	e.finishOnce.Do(func() {
+		e.submitMu.Lock()
+		e.finishing.Store(true)
+		e.submitMu.Unlock()
+		close(e.in)
+	})
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if err := e.runCtx.Err(); err != nil {
+		return nil, fmt.Errorf("stream: ingestion aborted: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.col.finalize(), nil
+}
+
+// CampaignView is a live, JSON-friendly summary of one campaign.
+type CampaignView struct {
+	ID          int      `json:"id"`
+	Samples     int      `json:"samples"`
+	Ancillaries int      `json:"ancillaries"`
+	Wallets     []string `json:"wallets,omitempty"`
+	Pools       []string `json:"pools,omitempty"`
+	XMR         float64  `json:"xmr"`
+	USD         float64  `json:"usd"`
+	Active      bool     `json:"active"`
+}
+
+// Live snapshots the current campaign partition mid-ingestion and returns the
+// top n campaigns by earnings (all of them when n <= 0). Dirty campaigns are
+// rebuilt and re-priced incrementally; clean ones reuse both their cached
+// campaign and their cached profit (a rebuilt campaign is a fresh pointer, so
+// the pointer-keyed profit cache misses exactly when re-pricing is needed).
+func (e *Engine) Live(n int) []CampaignView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := e.col.agg.Snapshot()
+	views := make([]CampaignView, 0, len(res.Campaigns))
+	fresh := make(map[*model.Campaign]profit.CampaignProfit, len(res.Campaigns))
+	for _, c := range res.Campaigns {
+		cp, priced := e.col.profitCache[c]
+		if !priced {
+			cp = profit.AnalyzeCampaignWith(c, e.col.wallets.CollectWallet, e.cfg.QueryTime)
+		}
+		fresh[c] = cp
+		views = append(views, CampaignView{
+			ID:          c.ID,
+			Samples:     len(c.Samples),
+			Ancillaries: len(c.Ancillaries),
+			Wallets:     c.Wallets,
+			Pools:       c.Pools,
+			XMR:         cp.XMR,
+			USD:         cp.USD,
+			Active:      cp.ActiveAt,
+		})
+	}
+	// Swap in the rebuilt cache so entries for replaced campaigns are dropped.
+	e.col.profitCache = fresh
+	sort.SliceStable(views, func(i, j int) bool { return views[i].XMR > views[j].XMR })
+	if n > 0 && n < len(views) {
+		views = views[:n]
+	}
+	return views
+}
+
+// Stats returns a live snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	s.Shards = len(e.shards)
+	s.Backpressure = len(e.in) + len(e.outcomes)
+	for _, sh := range e.shards {
+		for _, ch := range sh.chans {
+			s.Backpressure += len(ch)
+		}
+	}
+	return s
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package stream_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation serializes the engine enough to make
+// wall-clock speedup assertions meaningless.
+const raceEnabled = true

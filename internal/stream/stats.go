@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the engine's internal lock-free counter block.
+type counters struct {
+	start time.Time
+
+	submitted  atomic.Int64
+	analyzed   atomic.Int64
+	duplicates atomic.Int64
+	kept       atomic.Int64
+	miners     atomic.Int64
+	flips      atomic.Int64
+	campaigns  atomic.Int64
+	wallets    atomic.Int64
+
+	liveXMRBits atomic.Uint64
+	liveUSDBits atomic.Uint64
+
+	stageCount [numStages]atomic.Int64
+	stageNanos [numStages]atomic.Int64
+}
+
+func newCounters() *counters { return &counters{start: time.Now()} }
+
+func (c *counters) observeStage(idx int, d time.Duration) {
+	c.stageCount[idx].Add(1)
+	c.stageNanos[idx].Add(int64(d))
+}
+
+// addLiveProfit accumulates the running profit totals. Only the collector
+// goroutine writes them, so a plain read-modify-write on the atomic bits is
+// race-free while still letting Stats read concurrently.
+func (c *counters) addLiveProfit(xmr, usd float64) {
+	c.liveXMRBits.Store(math.Float64bits(math.Float64frombits(c.liveXMRBits.Load()) + xmr))
+	c.liveUSDBits.Store(math.Float64bits(math.Float64frombits(c.liveUSDBits.Load()) + usd))
+}
+
+// StageStats is the live latency profile of one stage, aggregated across
+// shards.
+type StageStats struct {
+	Name      string        `json:"name"`
+	Processed int64         `json:"processed"`
+	AvgNanos  time.Duration `json:"avg_latency_ns"`
+}
+
+// Stats is a point-in-time snapshot of the engine's live counters.
+type Stats struct {
+	// Uptime since Start.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Shards is the number of concurrent stage chains.
+	Shards int `json:"shards"`
+	// Submitted / Analyzed count samples entering and leaving the dataflow.
+	Submitted int64 `json:"submitted"`
+	Analyzed  int64 `json:"analyzed"`
+	// Duplicates counts re-observed hashes dropped by the collector.
+	Duplicates int64 `json:"duplicates"`
+	// SamplesPerSec is the cumulative analysis throughput.
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// Kept / Miners count dataset membership so far.
+	Kept   int64 `json:"kept"`
+	Miners int64 `json:"miners"`
+	// IllicitWalletFlips counts below-threshold samples retroactively
+	// upgraded by the illicit-wallet exception.
+	IllicitWalletFlips int64 `json:"illicit_wallet_flips"`
+	// Campaigns is the number of live campaigns discovered so far.
+	Campaigns int64 `json:"campaigns"`
+	// Wallets is the number of distinct non-donation wallets priced so far.
+	Wallets int64 `json:"wallets"`
+	// TotalXMR / TotalUSD are the running profit estimates.
+	TotalXMR float64 `json:"total_xmr"`
+	TotalUSD float64 `json:"total_usd"`
+	// Backpressure is the number of samples queued in bounded channels.
+	Backpressure int `json:"backpressure"`
+	// Stages profiles each stage of the chain.
+	Stages []StageStats `json:"stages"`
+}
+
+func (c *counters) snapshot() Stats {
+	uptime := time.Since(c.start)
+	analyzed := c.analyzed.Load()
+	s := Stats{
+		Uptime:             uptime,
+		Submitted:          c.submitted.Load(),
+		Analyzed:           analyzed,
+		Duplicates:         c.duplicates.Load(),
+		Kept:               c.kept.Load(),
+		Miners:             c.miners.Load(),
+		IllicitWalletFlips: c.flips.Load(),
+		Campaigns:          c.campaigns.Load(),
+		Wallets:            c.wallets.Load(),
+		TotalXMR:           math.Float64frombits(c.liveXMRBits.Load()),
+		TotalUSD:           math.Float64frombits(c.liveUSDBits.Load()),
+	}
+	if secs := uptime.Seconds(); secs > 0 {
+		s.SamplesPerSec = float64(analyzed) / secs
+	}
+	for i := 0; i < numStages; i++ {
+		st := StageStats{Name: StageNames[i], Processed: c.stageCount[i].Load()}
+		if st.Processed > 0 {
+			st.AvgNanos = time.Duration(c.stageNanos[i].Load() / st.Processed)
+		}
+		s.Stages = append(s.Stages, st)
+	}
+	return s
+}
