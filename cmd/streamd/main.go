@@ -3,17 +3,26 @@
 // configurable rate (unthrottled by default), and serves live ingestion
 // statistics over HTTP while samples land.
 //
+// With -data-dir the daemon is durable: every submission is written ahead
+// to a WAL, the engine state is checkpointed periodically (and on demand
+// via /checkpoint), and on boot the daemon resumes from the latest
+// checkpoint — replaying the WAL tail and continuing the feed exactly where
+// the previous process stopped, even after a SIGKILL. A resumed run's final
+// results are identical to an uninterrupted one.
+//
 // Endpoints:
 //
-//	GET /stats      live engine counters (samples/sec, per-stage latency,
-//	                campaigns discovered, running profit, backpressure)
-//	GET /campaigns  top campaigns by earnings so far (?n=10)
-//	GET /results    final summary (404 until the replay has drained)
-//	GET /healthz    liveness probe
+//	GET  /stats       live engine counters (samples/sec, per-stage latency,
+//	                  campaigns discovered, running profit, backpressure)
+//	GET  /campaigns   top campaigns by earnings so far (?n=10; 0 = all)
+//	GET  /results     final summary (404 until the replay has drained)
+//	POST /checkpoint  persist a snapshot now (409 without -data-dir)
+//	GET  /healthz     liveness probe
 //
 // Usage:
 //
-//	streamd -seed 42 -scale 0.25 -shards 0 -rate 0 -http 127.0.0.1:8090
+//	streamd -seed 42 -scale 0.25 -shards 0 -rate 0 -http 127.0.0.1:8090 \
+//	        -data-dir ./streamd-state -checkpoint-every 5s
 //
 // With -rate 500 the feed replays at 500 samples/sec, approximating a live
 // malware feed; -rate 0 replays as fast as the stages drain. The process
@@ -32,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"syscall"
@@ -40,6 +50,7 @@ import (
 	"cryptomining/internal/core"
 	"cryptomining/internal/ecosim"
 	"cryptomining/internal/model"
+	"cryptomining/internal/persist"
 	"cryptomining/internal/stream"
 )
 
@@ -52,6 +63,8 @@ func main() {
 		rate           = flag.Float64("rate", 0, "replay rate in samples/sec (0 = unthrottled)")
 		httpAddr       = flag.String("http", "127.0.0.1:8090", "HTTP stats listen address")
 		topN           = flag.Int("top", 10, "campaigns returned by /campaigns by default")
+		dataDir        = flag.String("data-dir", "", "durable state directory: WAL + checkpoints, auto-resume on boot (empty = in-memory only)")
+		ckptEvery      = flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval with -data-dir (0 disables periodic checkpoints)")
 		exitAfterDrain = flag.Bool("exit-after-drain", false, "terminate once the replay has drained")
 	)
 	flag.Parse()
@@ -69,7 +82,46 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	eng.Start(ctx)
+
+	// With -data-dir, recovery runs before the feed: restore the latest
+	// checkpoint, replay the WAL tail, and fast-forward the (deterministic)
+	// feed by the number of submissions already logged.
+	var st *persist.Store
+	skip := 0
+	if *dataDir != "" {
+		// The resume cursor is a position in the seed-deterministic feed, so
+		// restarting against a different feed would silently skip and repeat
+		// the wrong samples. Pin the feed identity in the data dir.
+		if err := checkFeedMeta(*dataDir, *seed, *scale, u.Corpus.Len()); err != nil {
+			log.Fatalf("%v", err)
+		}
+		var err error
+		st, err = persist.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		defer st.Close()
+		info, err := st.Resume(ctx, eng)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		skip = int(info.Logged)
+		if info.Resumed {
+			log.Printf("resumed from %s: snapshot seq %d, %d WAL entries replayed, feed continues at %d/%d",
+				*dataDir, info.SnapshotSeq, info.Replayed, skip, u.Corpus.Len())
+		} else {
+			log.Printf("durable state in %s (empty, starting fresh)", *dataDir)
+		}
+	} else {
+		eng.Start(ctx)
+	}
+
+	submit := func(ctx context.Context, sample *model.Sample) error {
+		if st != nil {
+			return st.Submit(ctx, sample)
+		}
+		return eng.Submit(ctx, sample)
+	}
 
 	var (
 		mu    sync.Mutex
@@ -86,11 +138,35 @@ func main() {
 	mux.HandleFunc("/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		n := *topN
 		if v := r.URL.Query().Get("n"); v != "" {
-			if parsed, err := strconv.Atoi(v); err == nil {
-				n = parsed
+			parsed, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("invalid n=%q: must be an integer", v), http.StatusBadRequest)
+				return
 			}
+			if parsed < 0 {
+				parsed = *topN // negatives clamp to the default
+			}
+			n = parsed
 		}
 		writeJSON(w, eng.Live(n))
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "checkpoint requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		if st == nil {
+			http.Error(w, "persistence disabled (run with -data-dir)", http.StatusConflict)
+			return
+		}
+		info, err := st.Checkpoint()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		log.Printf("checkpoint: %s (%d bytes, %d/%d submissions reflected)",
+			info.Path, info.Bytes, info.Processed, info.Logged)
+		writeJSON(w, info)
 	})
 	mux.HandleFunc("/results", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
@@ -122,12 +198,12 @@ func main() {
 			log.Fatalf("http serve: %v", err)
 		}
 	}()
-	log.Printf("stats API on http://%s (/stats /campaigns /results /healthz)", ln.Addr())
+	log.Printf("stats API on http://%s (/stats /campaigns /results /checkpoint /healthz)", ln.Addr())
 
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
-		if err := replay(ctx, eng, u, *seed, *rate); err != nil {
+		if err := replay(ctx, submit, u, *seed, *rate, skip); err != nil {
 			log.Printf("replay aborted: %v", err)
 			return
 		}
@@ -136,15 +212,45 @@ func main() {
 			log.Printf("finish: %v", err)
 			return
 		}
+		if st != nil {
+			// Final checkpoint: a restart after completion resumes straight
+			// into the finished state instead of re-analyzing the tail.
+			if _, err := st.Checkpoint(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}
 		mu.Lock()
 		final = res
 		mu.Unlock()
-		st := eng.Stats()
+		es := eng.Stats()
 		log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
-			st.Analyzed, st.Uptime.Round(time.Millisecond), st.SamplesPerSec,
+			es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
 			len(res.Records), len(res.Campaigns),
 			model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
 	}()
+
+	// Periodic checkpoints while the replay is in flight.
+	if st != nil && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if info, err := st.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					} else {
+						log.Printf("checkpoint: %s (%d/%d submissions reflected)",
+							info.Path, info.Processed, info.Logged)
+					}
+				case <-drained:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	if *exitAfterDrain {
 		select {
@@ -154,17 +260,29 @@ func main() {
 	} else {
 		<-ctx.Done()
 	}
+	if st != nil {
+		// Best-effort parting snapshot on graceful shutdown; the WAL alone
+		// already guarantees a correct (if slower) resume.
+		if _, err := st.Checkpoint(); err != nil {
+			log.Printf("shutdown checkpoint: %v", err)
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
 }
 
-// replay submits the corpus in shuffled order, throttled to rate samples/sec
-// when rate > 0.
-func replay(ctx context.Context, eng *stream.Engine, u *ecosim.Universe, seed int64, rate float64) error {
+// replay submits the corpus in shuffled (seed-deterministic) order, skipping
+// the first skip samples (already logged by a previous process) and
+// throttled to rate samples/sec when rate > 0.
+func replay(ctx context.Context, submit func(context.Context, *model.Sample) error, u *ecosim.Universe, seed int64, rate float64, skip int) error {
 	hashes := u.Corpus.Hashes()
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+	if skip > len(hashes) {
+		skip = len(hashes)
+	}
+	hashes = hashes[skip:]
 
 	var tick <-chan time.Time
 	if rate > 0 {
@@ -184,9 +302,43 @@ func replay(ctx context.Context, eng *stream.Engine, u *ecosim.Universe, seed in
 		if !ok {
 			continue
 		}
-		if err := eng.Submit(ctx, sample); err != nil {
+		if err := submit(ctx, sample); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// feedMeta pins the feed a data directory belongs to.
+type feedMeta struct {
+	Seed    int64   `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Samples int     `json:"samples"`
+}
+
+// checkFeedMeta records the feed parameters in dir on first use and refuses
+// to resume against a different feed afterwards.
+func checkFeedMeta(dir string, seed int64, scale float64, samples int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "feed.json")
+	want := feedMeta{Seed: seed, Scale: scale, Samples: samples}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		buf, _ := json.Marshal(want)
+		return os.WriteFile(path, buf, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var have feedMeta
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return fmt.Errorf("corrupt %s: %w", path, err)
+	}
+	if have != want {
+		return fmt.Errorf("data dir %s was written by a different feed (seed=%d scale=%g samples=%d; this run: seed=%d scale=%g samples=%d) — refusing to resume",
+			dir, have.Seed, have.Scale, have.Samples, want.Seed, want.Scale, want.Samples)
 	}
 	return nil
 }

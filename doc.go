@@ -6,9 +6,11 @@
 // hashing, wallet syntax, YARA-like rules, Stratum protocol, DNS and mining
 // pool simulators, AV and OSINT simulation, underground-forum trends, malware
 // feeds), the measurement core (extraction, campaign aggregation, profit
-// analysis, report datasets) and the streaming ingestion engine
+// analysis, report datasets), the streaming ingestion engine
 // (internal/stream: sharded concurrent analysis with incremental campaign
-// aggregation). Runnable entry points are under cmd/ and examples/;
+// aggregation) and its durability layer (internal/persist: write-ahead log,
+// checkpoints, crash recovery). Runnable entry points are under cmd/ and
+// examples/;
 // bench_test.go regenerates every table and figure of the paper's
 // evaluation. See README.md and DESIGN.md.
 package cryptomining

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -87,6 +89,83 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	// final snapshot only rebuilds components dirtied since the previous one.
 	if ia.Rebuilds() >= snapshots*len(batch.Campaigns) {
 		t.Fatalf("rebuilds %d suggest full re-aggregation per snapshot", ia.Rebuilds())
+	}
+}
+
+// TestIncrementalExportRestoreMidStream interrupts an incremental aggregation
+// at an arbitrary point, serializes its state through gob, restores it into a
+// fresh aggregator and feeds the remaining inputs to both. The restored
+// aggregator must stay bit-for-bit in lockstep with the uninterrupted one —
+// including after further merges — and the exported state must re-serialize
+// to identical bytes after the roundtrip.
+func TestIncrementalExportRestoreMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	inputs := synthInputs(300, rng)
+	rng.Shuffle(len(inputs), func(i, j int) { inputs[i], inputs[j] = inputs[j], inputs[i] })
+	cfg := DefaultConfig(osint.NewDefaultStore(), nil, nil)
+
+	for _, cut := range []int{0, 1, 37, 150, 299, 300} {
+		orig := NewIncremental(cfg)
+		for _, in := range inputs[:cut] {
+			orig.Add(in)
+			if sha := in.Record.SHA256; len(in.Record.Parents) > 0 {
+				orig.SetAVLabels(sha, []string{"trojan.generic", "miner.xmrig"})
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig.ExportState()); err != nil {
+			t.Fatalf("cut %d: encode: %v", cut, err)
+		}
+		exported := buf.Bytes()
+		var st AggregatorState
+		if err := gob.NewDecoder(bytes.NewReader(exported)).Decode(&st); err != nil {
+			t.Fatalf("cut %d: decode: %v", cut, err)
+		}
+		restored := NewIncremental(cfg)
+		if err := restored.RestoreState(&st); err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+
+		var rebuf bytes.Buffer
+		if err := gob.NewEncoder(&rebuf).Encode(restored.ExportState()); err != nil {
+			t.Fatalf("cut %d: re-encode: %v", cut, err)
+		}
+		if !bytes.Equal(exported, rebuf.Bytes()) {
+			t.Fatalf("cut %d: state serialization not stable across restore (%d vs %d bytes)",
+				cut, len(exported), rebuf.Len())
+		}
+
+		for _, in := range inputs[cut:] {
+			orig.Add(in)
+			restored.Add(in)
+		}
+		a, b := orig.Snapshot(), restored.Snapshot()
+		if len(a.Campaigns) != len(b.Campaigns) {
+			t.Fatalf("cut %d: campaign count %d vs %d", cut, len(a.Campaigns), len(b.Campaigns))
+		}
+		for i := range a.Campaigns {
+			if !reflect.DeepEqual(a.Campaigns[i], b.Campaigns[i]) {
+				t.Fatalf("cut %d: campaign %d differs:\norig     %+v\nrestored %+v",
+					cut, i, a.Campaigns[i], b.Campaigns[i])
+			}
+		}
+		if a.DonationWalletsSkipped != b.DonationWalletsSkipped ||
+			a.Graph.NodeCount() != b.Graph.NodeCount() ||
+			a.Graph.EdgeCount() != b.Graph.EdgeCount() {
+			t.Fatalf("cut %d: graph/counter divergence", cut)
+		}
+	}
+}
+
+// TestRestoreIntoUsedAggregatorFails covers the misuse guard.
+func TestRestoreIntoUsedAggregatorFails(t *testing.T) {
+	cfg := DefaultConfig(osint.NewDefaultStore(), nil, nil)
+	ia := NewIncremental(cfg)
+	ia.Add(Input{Record: model.Record{SHA256: "aa11", Type: model.TypeMiner, User: "4AwalletAAA111"}})
+	st := ia.ExportState()
+	if err := ia.RestoreState(st); err == nil {
+		t.Fatal("restore into a non-empty aggregator must fail")
 	}
 }
 

@@ -31,6 +31,41 @@ func (d *DisjointSet[K]) Find(x K) K {
 	return root
 }
 
+// Export returns copies of the forest's internal parent and rank tables.
+// Together they capture the exact structure — including which element
+// represents each set and the accumulated ranks — so a forest restored with
+// RestoreDisjointSet keeps answering Find with the same roots and keeps
+// choosing the same survivors in future Unions. The snapshot/recovery path
+// of the streaming engine depends on both properties.
+func (d *DisjointSet[K]) Export() (parent map[K]K, rank map[K]int) {
+	parent = make(map[K]K, len(d.parent))
+	for k, v := range d.parent {
+		parent[k] = v
+	}
+	rank = make(map[K]int, len(d.rank))
+	for k, v := range d.rank {
+		rank[k] = v
+	}
+	return parent, rank
+}
+
+// RestoreDisjointSet rebuilds a forest from tables previously returned by
+// Export. The maps are copied; the caller keeps ownership. Rank entries with
+// value zero are dropped, matching the representation of a live forest
+// (which only materializes ranks once they are incremented).
+func RestoreDisjointSet[K comparable](parent map[K]K, rank map[K]int) *DisjointSet[K] {
+	d := NewDisjointSet[K]()
+	for k, v := range parent {
+		d.parent[k] = v
+	}
+	for k, v := range rank {
+		if v != 0 {
+			d.rank[k] = v
+		}
+	}
+	return d
+}
+
 // Union merges the sets of a and b. It returns the surviving root, the
 // absorbed former root, and whether a merge happened (false when both were
 // already in the same set), so callers can combine per-set payloads.

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestDisjointSetExportRestore verifies that a restored forest is
+// indistinguishable from the original: same roots for every element, and the
+// same merge decisions (rank-dependent) on subsequent unions.
+func TestDisjointSetExportRestore(t *testing.T) {
+	orig := NewDisjointSet[string]()
+	var elems []string
+	for i := 0; i < 64; i++ {
+		elems = append(elems, fmt.Sprintf("e%02d", i))
+	}
+	// A mix of chains, stars and singletons exercises rank and compression.
+	for i := 0; i+1 < 32; i += 2 {
+		orig.Union(elems[i], elems[i+1])
+	}
+	for i := 0; i < 16; i++ {
+		orig.Union(elems[0], elems[i])
+	}
+	for i := 40; i < 48; i++ {
+		orig.Find(elems[i]) // singletons via Find
+	}
+
+	parent, rank := orig.Export()
+	restored := RestoreDisjointSet(parent, rank)
+
+	for _, e := range elems[:48] {
+		if got, want := restored.Find(e), orig.Find(e); got != want {
+			t.Fatalf("Find(%s) = %s after restore, want %s", e, got, want)
+		}
+	}
+
+	// Future unions must pick identical survivors on both forests.
+	pairs := [][2]string{{"e00", "e33"}, {"e33", "e35"}, {"e40", "e41"}, {"e02", "e40"}, {"e50", "e51"}}
+	for _, p := range pairs {
+		r1, a1, m1 := orig.Union(p[0], p[1])
+		r2, a2, m2 := restored.Union(p[0], p[1])
+		if r1 != r2 || a1 != a2 || m1 != m2 {
+			t.Fatalf("Union(%s,%s) diverged: orig (%s,%s,%v) restored (%s,%s,%v)",
+				p[0], p[1], r1, a1, m1, r2, a2, m2)
+		}
+	}
+}
+
+// TestDisjointSetExportIsCopy ensures Export hands back detached tables.
+func TestDisjointSetExportIsCopy(t *testing.T) {
+	d := NewDisjointSet[int]()
+	d.Union(1, 2)
+	parent, rank := d.Export()
+	wantParent, wantRank := d.Export()
+	parent[99] = 99
+	rank[1] = 42
+	gotParent, gotRank := d.Export()
+	if !reflect.DeepEqual(gotParent, wantParent) || !reflect.DeepEqual(gotRank, wantRank) {
+		t.Fatal("mutating exported tables leaked into the forest")
+	}
+}

@@ -1,0 +1,141 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cryptomining/internal/model"
+)
+
+// The WAL is a sequence of segment files named wal-<firstSeq>.log, where
+// firstSeq is the sequence number the segment starts at (segments rotate on
+// checkpoint, so a whole segment becomes prunable once the checkpoint
+// watermark passes it). Each segment is a flat stream of frames:
+//
+//	[4-byte LE payload length][4-byte LE IEEE CRC32 of payload][payload]
+//
+// where payload is a gob-encoded walRecord. A SIGKILL can leave a torn
+// frame at the tail of the last segment; readers stop at the first frame
+// that is short or fails its CRC, and the writer truncates the tail back to
+// the last valid frame before appending again. A torn frame is always safe
+// to drop: samples are submitted to the engine only after their append
+// returned, so a torn entry was never processed.
+const (
+	walPrefix = "wal-"
+	walSuffix = ".log"
+
+	frameHeaderSize = 8
+	// maxFramePayload guards the reader against interpreting garbage as a
+	// giant allocation; real entries are sample-sized.
+	maxFramePayload = 64 << 20
+)
+
+// walRecord is one logged submission.
+type walRecord struct {
+	Seq    uint64
+	Sample model.Sample
+}
+
+func segmentPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", walPrefix, firstSeq, walSuffix))
+}
+
+// segmentFirstSeq parses the firstSeq out of a segment file name, reporting
+// whether the name is a WAL segment at all.
+func segmentFirstSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the WAL segments under dir sorted by firstSeq.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []uint64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if first, ok := segmentFirstSeq(ent.Name()); ok {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// appendFrame writes one record as a single frame and returns the frame
+// size. The frame is assembled in memory and written with one Write call, so
+// a crash between syscalls cannot interleave half-frames from concurrent
+// appends (appends are additionally serialized by the store mutex).
+func appendFrame(f *os.File, rec *walRecord) (int, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return 0, fmt.Errorf("persist: encode wal record: %w", err)
+	}
+	frame := make([]byte, frameHeaderSize+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[frameHeaderSize:], payload.Bytes())
+	if _, err := f.Write(frame); err != nil {
+		return 0, fmt.Errorf("persist: append wal frame: %w", err)
+	}
+	return len(frame), nil
+}
+
+// readSegment reads every valid record of one segment file and returns them
+// together with the byte offset where the valid prefix ends (the truncation
+// point for torn tails). A missing file reads as empty.
+func readSegment(path string) (recs []walRecord, validEnd int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var off int64
+	hdr := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return recs, off, nil // clean EOF or torn header: stop here
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size == 0 || size > maxFramePayload {
+			return recs, off, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, nil // corrupt frame
+		}
+		var rec walRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += int64(frameHeaderSize + len(payload))
+	}
+}

@@ -83,7 +83,9 @@ func newCollector(e *Engine) *collector {
 // handle processes one analyzed sample: records it, wires it into the
 // relation graph, applies the illicit-wallet exception in both directions,
 // and decides (possibly retroactively, for earlier samples) what is kept.
-func (c *collector) handle(it *item) {
+// It reports whether the sample was absorbed (false for duplicates, which
+// must not count toward analysis throughput).
+func (c *collector) handle(it *item) bool {
 	o := it.outcome
 	h := it.key
 	if _, seen := c.outcomes[h]; seen {
@@ -91,7 +93,7 @@ func (c *collector) handle(it *item) {
 		// distinct hashes (feed consolidation dedups upstream in batch mode),
 		// so resubmissions must not double-feed the aggregation or stats.
 		c.e.stats.duplicates.Add(1)
-		return
+		return false
 	}
 	c.outcomes[h] = o
 	c.pending[h] = pendingInput{content: it.sample.Content, labels: it.labels}
@@ -127,6 +129,7 @@ func (c *collector) handle(it *item) {
 	if !o.Kept && !c.retainable(o) {
 		delete(c.pending, h)
 	}
+	return true
 }
 
 // retainable reports whether a not-(yet-)kept outcome may still be kept

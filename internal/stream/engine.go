@@ -39,15 +39,25 @@ type Engine struct {
 	shards   []*shard
 
 	// mu serializes the collector's mutations with external reads (live
-	// snapshots, finalize).
+	// snapshots, finalize, state export).
 	mu  sync.Mutex
 	col *collector
+
+	// ackLow / ackAbove track which submission sequence numbers (SubmitSeq)
+	// the collector has fully processed: everything below ackLow, plus the
+	// out-of-order window in ackAbove. Guarded by mu, so a state export
+	// observes an ack watermark exactly consistent with the collector state.
+	ackLow   uint64
+	ackAbove map[uint64]struct{}
 
 	runCtx     context.Context
 	startOnce  sync.Once
 	finishOnce sync.Once
 	done       chan struct{}
-	started    bool
+	// started flips once Start has fully initialized the engine. It is
+	// atomic because Submit/Finish/Stats may run concurrently with Start;
+	// the release/acquire pair also publishes runCtx to submitters.
+	started atomic.Bool
 	// submitMu orders Submit against Finish: Finish takes the write lock to
 	// set finishing before closing the intake, so a concurrent Submit either
 	// completes its send first or observes the flag and errors — never a
@@ -56,7 +66,10 @@ type Engine struct {
 	finishing atomic.Bool
 }
 
-// New creates an engine; call Start before submitting.
+// New creates an engine; call Start before submitting. The shard structures
+// (channels, caches, sandboxes) are built here so every Engine field is
+// immutable after New — Start only launches goroutines, which is what makes
+// concurrent Stats/Submit calls racing with Start safe.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
@@ -66,6 +79,11 @@ func New(cfg Config) *Engine {
 		in:       make(chan *item, cfg.QueueDepth),
 		outcomes: make(chan *item, cfg.QueueDepth),
 		done:     make(chan struct{}),
+		ackLow:   1,
+		ackAbove: map[uint64]struct{}{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		e.shards = append(e.shards, newShard(e))
 	}
 	e.col = newCollector(e)
 	return e
@@ -76,16 +94,13 @@ func New(cfg Config) *Engine {
 func (e *Engine) Start(ctx context.Context) {
 	e.startOnce.Do(func() {
 		e.runCtx = ctx
-		e.started = true
-		e.stats.start = time.Now()
+		e.stats.markStart()
 
 		// Every stage owns (and closes) the channel it writes to, except the
 		// final enrich stages, which share the engine-wide outcomes channel:
 		// those join enrichWG so the channel closes once ALL shards drain.
 		var enrichWG sync.WaitGroup
-		for i := 0; i < e.cfg.Shards; i++ {
-			s := newShard(e)
-			e.shards = append(e.shards, s)
+		for _, s := range e.shards {
 			for st := 0; st < numStages-1; st++ {
 				go e.runStage(ctx, st, s.chans[st], s.chans[st+1], true, s.stageFn(st), nil)
 			}
@@ -98,6 +113,10 @@ func (e *Engine) Start(ctx context.Context) {
 		}()
 		go e.dispatch(ctx)
 		go e.collect(ctx)
+
+		// Publish last: a Submit that observes started also observes runCtx
+		// and the launched dataflow.
+		e.started.Store(true)
 	})
 }
 
@@ -167,9 +186,17 @@ func (e *Engine) collect(ctx context.Context) {
 				return
 			}
 			e.mu.Lock()
-			e.col.handle(it)
+			// Re-observed hashes count as duplicates (inside handle), not as
+			// analyzed throughput. The counter bump and the sequence ack stay
+			// under the mutex so a concurrent state export sees counters,
+			// watermark and collector state move as one.
+			if e.col.handle(it) {
+				e.stats.analyzed.Add(1)
+			}
+			if it.seq != 0 {
+				e.ackSeq(it.seq)
+			}
 			e.mu.Unlock()
-			e.stats.analyzed.Add(1)
 		}
 	}
 }
@@ -185,10 +212,41 @@ func shardIndex(key string, n int) int {
 
 func lowerHash(sha string) string { return strings.ToLower(sha) }
 
+// ackSeq records that the collector has fully processed submission sequence
+// seq, advancing the contiguous low watermark. Called under e.mu.
+func (e *Engine) ackSeq(seq uint64) {
+	if seq < e.ackLow {
+		return
+	}
+	e.ackAbove[seq] = struct{}{}
+	for {
+		if _, ok := e.ackAbove[e.ackLow]; !ok {
+			return
+		}
+		delete(e.ackAbove, e.ackLow)
+		e.ackLow++
+	}
+}
+
 // Submit feeds one sample into the dataflow, blocking under backpressure.
 // Samples without a SHA256 are hashed from their content.
 func (e *Engine) Submit(ctx context.Context, sample *model.Sample) error {
-	if !e.started {
+	return e.submit(ctx, sample, 0)
+}
+
+// SubmitSeq is Submit with a caller-assigned sequence number (> 0), used by
+// the persistence layer: the engine acks each sequence once the collector
+// has processed it, and exported state carries the ack watermark so a
+// write-ahead log knows which entries still need replaying after a restore.
+func (e *Engine) SubmitSeq(ctx context.Context, sample *model.Sample, seq uint64) error {
+	if seq == 0 {
+		return errors.New("stream: sequence numbers start at 1")
+	}
+	return e.submit(ctx, sample, seq)
+}
+
+func (e *Engine) submit(ctx context.Context, sample *model.Sample, seq uint64) error {
+	if !e.started.Load() {
 		return ErrNotStarted
 	}
 	e.submitMu.RLock()
@@ -209,7 +267,7 @@ func (e *Engine) Submit(ctx context.Context, sample *model.Sample) error {
 		sample = &hashed
 		sha = sample.SHA256
 	}
-	it := &item{sample: sample, key: lowerHash(sha)}
+	it := &item{sample: sample, key: lowerHash(sha), seq: seq}
 	select {
 	case e.in <- it:
 		e.stats.submitted.Add(1)
@@ -225,7 +283,7 @@ func (e *Engine) Submit(ctx context.Context, sample *model.Sample) error {
 // final results. Submits racing with Finish either land before the intake
 // closes or return an error.
 func (e *Engine) Finish(ctx context.Context) (*Results, error) {
-	if !e.started {
+	if !e.started.Load() {
 		return nil, ErrNotStarted
 	}
 	e.finishOnce.Do(func() {

@@ -31,6 +31,9 @@ type item struct {
 	sample *model.Sample
 	// key is the lowercase hash the sample is keyed (and sharded) by.
 	key string
+	// seq is the caller-assigned submission sequence (SubmitSeq); zero for
+	// untracked submissions. The collector acks it after processing.
+	seq uint64
 
 	outcome *SampleOutcome
 	report  *model.AVReport

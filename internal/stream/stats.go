@@ -8,7 +8,12 @@ import (
 
 // counters is the engine's internal lock-free counter block.
 type counters struct {
-	start time.Time
+	// startNanos is the uptime origin (UnixNano), atomic because Start
+	// re-pins it while Stats may be reading concurrently.
+	startNanos atomic.Int64
+	// carriedNanos is uptime inherited from a restored checkpoint; Start
+	// backdates startNanos by this amount so uptime spans process restarts.
+	carriedNanos atomic.Int64
 
 	submitted  atomic.Int64
 	analyzed   atomic.Int64
@@ -26,7 +31,21 @@ type counters struct {
 	stageNanos [numStages]atomic.Int64
 }
 
-func newCounters() *counters { return &counters{start: time.Now()} }
+func newCounters() *counters {
+	c := &counters{}
+	c.startNanos.Store(time.Now().UnixNano())
+	return c
+}
+
+// markStart pins the uptime origin, backdated by any uptime carried over
+// from a restored checkpoint.
+func (c *counters) markStart() {
+	c.startNanos.Store(time.Now().Add(-time.Duration(c.carriedNanos.Load())).UnixNano())
+}
+
+func (c *counters) uptime() time.Duration {
+	return time.Since(time.Unix(0, c.startNanos.Load()))
+}
 
 func (c *counters) observeStage(idx int, d time.Duration) {
 	c.stageCount[idx].Add(1)
@@ -55,12 +74,16 @@ type Stats struct {
 	Uptime time.Duration `json:"uptime_ns"`
 	// Shards is the number of concurrent stage chains.
 	Shards int `json:"shards"`
-	// Submitted / Analyzed count samples entering and leaving the dataflow.
+	// Submitted counts samples entering the dataflow; Analyzed counts
+	// distinct samples absorbed by the collector (re-observed hashes are
+	// counted under Duplicates instead, so throughput is not inflated by
+	// resubmissions).
 	Submitted int64 `json:"submitted"`
 	Analyzed  int64 `json:"analyzed"`
 	// Duplicates counts re-observed hashes dropped by the collector.
 	Duplicates int64 `json:"duplicates"`
-	// SamplesPerSec is the cumulative analysis throughput.
+	// SamplesPerSec is the cumulative analysis throughput over distinct
+	// samples.
 	SamplesPerSec float64 `json:"samples_per_sec"`
 	// Kept / Miners count dataset membership so far.
 	Kept   int64 `json:"kept"`
@@ -82,7 +105,7 @@ type Stats struct {
 }
 
 func (c *counters) snapshot() Stats {
-	uptime := time.Since(c.start)
+	uptime := c.uptime()
 	analyzed := c.analyzed.Load()
 	s := Stats{
 		Uptime:             uptime,
