@@ -1,0 +1,230 @@
+// Command apismoke end-to-end-tests a running streamd through the public
+// surface only: it regenerates the same deterministic universe, uploads the
+// shuffled corpus via the pkg/client SDK (bulk NDJSON), waits for the engine
+// to absorb every sample, and then diffs what the API serves against the
+// batch pipeline's output:
+//
+//   - /api/v1/campaigns must equal the batch campaign partition exactly
+//     (IDs, membership counts, wallets, pools, bit-identical profit);
+//   - per-campaign detail views must agree with the batch campaigns;
+//   - with -table8, the paper's Table VIII is re-rendered purely from API
+//     responses and must be byte-identical to the file cmd/paperrepro wrote.
+//
+// The target daemon must run the same -seed/-scale, typically with -no-feed
+// so apismoke is the only sample source:
+//
+//	streamd -no-feed -seed 7 -scale 0.12 -http 127.0.0.1:18291 &
+//	paperrepro -out batch -seed 7 -scale 0.12
+//	apismoke -addr http://127.0.0.1:18291 -seed 7 -scale 0.12 \
+//	         -table8 batch/table8_top_campaigns.txt
+//
+// Exit status 0 means every check passed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"reflect"
+	"time"
+
+	"cryptomining/internal/api"
+	"cryptomining/internal/core"
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/model"
+	"cryptomining/internal/report"
+	"cryptomining/pkg/apiv1"
+	"cryptomining/pkg/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8090", "streamd base URL")
+		seed    = flag.Int64("seed", 42, "ecosystem generation seed (must match the daemon)")
+		scale   = flag.Float64("scale", 0.25, "ecosystem scale factor (must match the daemon)")
+		chunk   = flag.Int("chunk", 250, "samples per bulk NDJSON request")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		table8  = flag.String("table8", "", "path to paperrepro's table8_top_campaigns.txt to diff against (optional)")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cfg := ecosim.DefaultConfig().Scale(*scale)
+	cfg.Seed = *seed
+	log.Printf("generating universe (seed=%d, scale=%.2f) and batch reference...", *seed, *scale)
+	u := ecosim.Generate(cfg)
+	batch, err := core.NewFromUniverse(u).Run()
+	if err != nil {
+		log.Fatalf("batch pipeline: %v", err)
+	}
+
+	cl, err := client.New(*addr)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	if err := cl.Healthz(ctx); err != nil {
+		log.Fatalf("daemon not healthy at %s: %v", *addr, err)
+	}
+
+	// Upload the corpus shuffled (a different order than both the batch run
+	// and streamd's own feed shuffle), in bulk chunks.
+	hashes := u.Corpus.Hashes()
+	rng := rand.New(rand.NewSource(*seed + 1))
+	rng.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+	var wire []apiv1.Sample
+	for _, h := range hashes {
+		if s, ok := u.Corpus.Get(h); ok {
+			wire = append(wire, api.SampleToWire(s))
+		}
+	}
+	log.Printf("uploading %d samples in chunks of %d...", len(wire), *chunk)
+	uploaded := 0
+	for start := 0; start < len(wire); start += *chunk {
+		end := min(start+*chunk, len(wire))
+		res, err := cl.SubmitSamples(ctx, wire[start:end])
+		if err != nil {
+			log.Fatalf("bulk upload [%d:%d]: %v", start, end, err)
+		}
+		uploaded += res.Accepted
+	}
+	if uploaded != len(wire) {
+		log.Fatalf("daemon accepted %d of %d samples", uploaded, len(wire))
+	}
+
+	// Wait until the collector has absorbed every distinct sample.
+	log.Printf("waiting for the engine to absorb %d samples...", len(wire))
+	for {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		if st.Analyzed+st.Duplicates >= int64(len(wire)) && st.Backpressure == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("timed out waiting for absorption (analyzed=%d)", st.Analyzed)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// Diff the live campaign listing against the batch partition.
+	page, err := cl.Campaigns(ctx, client.CampaignQuery{})
+	if err != nil {
+		log.Fatalf("campaigns: %v", err)
+	}
+	wantViews := api.ViewsFromResults(batch)
+	if page.Total != len(wantViews) {
+		log.Fatalf("campaign count: API %d, batch %d", page.Total, len(wantViews))
+	}
+	gotJSON, _ := json.Marshal(page.Campaigns)
+	wantJSON, _ := json.Marshal(wantViews)
+	if string(gotJSON) != string(wantJSON) {
+		for i := range wantViews {
+			g, _ := json.Marshal(page.Campaigns[i])
+			w, _ := json.Marshal(wantViews[i])
+			if string(g) != string(w) {
+				log.Fatalf("campaign %d differs:\nAPI:   %s\nbatch: %s", i, g, w)
+			}
+		}
+		log.Fatalf("campaign listing differs from batch output")
+	}
+	log.Printf("OK: %d campaigns bit-identical to the batch pipeline", page.Total)
+
+	// Spot-check detail views against the batch campaigns.
+	byID := map[int]*model.Campaign{}
+	for _, c := range batch.Campaigns {
+		byID[c.ID] = c
+	}
+	checked := 0
+	for _, v := range page.Campaigns {
+		if checked == 10 {
+			break
+		}
+		detail, err := cl.Campaign(ctx, v.ID)
+		if err != nil {
+			log.Fatalf("campaign %d detail: %v", v.ID, err)
+		}
+		want := byID[v.ID]
+		if want == nil {
+			log.Fatalf("campaign %d not in batch output", v.ID)
+		}
+		if !reflect.DeepEqual(detail.Wallets, want.Wallets) ||
+			len(detail.SampleHashes) != len(want.Samples) ||
+			len(detail.AncillaryHashes) != len(want.Ancillaries) ||
+			detail.XMR != want.XMRMined || detail.USD != want.USDEarned ||
+			!detail.FirstSeen.Equal(want.FirstSeen) || !detail.LastSeen.Equal(want.LastSeen) {
+			log.Fatalf("campaign %d detail differs from batch:\nAPI:   %+v\nbatch: %+v", v.ID, detail, want)
+		}
+		checked++
+	}
+	log.Printf("OK: %d campaign detail views agree with the batch campaigns", checked)
+
+	// Re-render Table VIII purely from API responses and diff it against the
+	// file cmd/paperrepro wrote for the same seed/scale.
+	if *table8 != "" {
+		wantTable, err := os.ReadFile(*table8)
+		if err != nil {
+			log.Fatalf("read %s: %v", *table8, err)
+		}
+		gotTable := renderTable8(ctx, cl, page)
+		if gotTable != string(wantTable) {
+			log.Fatalf("Table VIII rendered from the API differs from %s:\n--- API ---\n%s\n--- paperrepro ---\n%s",
+				*table8, gotTable, wantTable)
+		}
+		log.Printf("OK: Table VIII re-rendered from the API byte-identical to %s", *table8)
+	}
+
+	fmt.Println("api-smoke: all checks passed")
+}
+
+// renderTable8 rebuilds core.TopCampaignsTable's output from API data only:
+// the earnings-sorted listing plus the detail views of the top 10.
+func renderTable8(ctx context.Context, cl *client.Client, page apiv1.CampaignPage) string {
+	t := report.NewTable("Table VIII — top 10 campaigns by XMR mined",
+		"Campaign", "#S", "#W", "Period", "XMR", "USD")
+	earners := 0
+	var allXMR, allUSD float64
+	for _, c := range page.Campaigns {
+		// The listing is earnings-sorted, so these sums run in the same
+		// order as the batch pipeline's profit totals — bit-identical.
+		if c.XMR > 0 {
+			earners++
+			allXMR += c.XMR
+			allUSD += c.USD
+		}
+	}
+	var totXMR, totUSD float64
+	var totS, totW, rows int
+	for _, c := range page.Campaigns {
+		if rows == 10 || c.XMR <= 0 {
+			break
+		}
+		detail, err := cl.Campaign(ctx, c.ID)
+		if err != nil {
+			log.Fatalf("campaign %d detail: %v", c.ID, err)
+		}
+		period := fmt.Sprintf("%s to %s", detail.FirstSeen.Format("01/06"), detail.LastSeen.Format("01/06"))
+		if c.Active {
+			period = fmt.Sprintf("%s to active*", detail.FirstSeen.Format("01/06"))
+		}
+		t.AddRow(fmt.Sprintf("C#%d", c.ID), fmt.Sprintf("%d", c.Samples), fmt.Sprintf("%d", len(c.Wallets)),
+			period, model.FormatXMR(c.XMR), model.FormatUSD(c.USD))
+		totXMR += c.XMR
+		totUSD += c.USD
+		totS += c.Samples
+		totW += len(c.Wallets)
+		rows++
+	}
+	t.AddRow(fmt.Sprintf("TOP-%d", rows), fmt.Sprintf("%d", totS), fmt.Sprintf("%d", totW), "",
+		model.FormatXMR(totXMR), model.FormatUSD(totUSD))
+	t.AddRow(fmt.Sprintf("ALL-%d", earners), "", "", "",
+		model.FormatXMR(allXMR), model.FormatUSD(allUSD))
+	return t.String()
+}

@@ -1,23 +1,29 @@
 // Command streamd runs the streaming ingestion engine as a daemon: it
 // generates an ecosim feed, replays it through internal/stream at a
-// configurable rate (unthrottled by default), and serves live ingestion
-// statistics over HTTP while samples land.
+// configurable rate (unthrottled by default), and serves the versioned
+// service API (internal/api) while samples land. With -no-feed the local
+// replay is skipped entirely and the daemon is a pure network service fed
+// through POST /api/v1/samples.
 //
-// With -data-dir the daemon is durable: every submission is written ahead
-// to a WAL, the engine state is checkpointed periodically (and on demand
-// via /checkpoint), and on boot the daemon resumes from the latest
-// checkpoint — replaying the WAL tail and continuing the feed exactly where
-// the previous process stopped, even after a SIGKILL. A resumed run's final
-// results are identical to an uninterrupted one.
+// With -data-dir the daemon is durable: every submission — feed replay and
+// remote API ingestion alike — is written ahead to a WAL, the engine state
+// is checkpointed periodically (and on demand via POST /api/v1/checkpoint),
+// and on boot the daemon resumes from the latest checkpoint, replaying the
+// WAL tail and continuing the feed exactly where the previous process
+// stopped, even after a SIGKILL. A resumed run's final results are identical
+// to an uninterrupted one.
 //
-// Endpoints:
+// Endpoints (see internal/api for the full reference; legacy unversioned
+// aliases /stats /campaigns /results /checkpoint /healthz stay up):
 //
-//	GET  /stats       live engine counters (samples/sec, per-stage latency,
-//	                  campaigns discovered, running profit, backpressure)
-//	GET  /campaigns   top campaigns by earnings so far (?n=10; 0 = all)
-//	GET  /results     final summary (404 until the replay has drained)
-//	POST /checkpoint  persist a snapshot now (409 without -data-dir)
-//	GET  /healthz     liveness probe
+//	GET  /api/v1/stats          live engine counters
+//	GET  /api/v1/campaigns      paginated + filtered campaign listing
+//	GET  /api/v1/campaigns/{id} full campaign detail
+//	GET  /api/v1/results        final summary (503 + Retry-After until drained)
+//	POST /api/v1/checkpoint     persist a snapshot now (409 without -data-dir)
+//	POST /api/v1/samples        remote ingestion (JSON or bulk NDJSON)
+//	GET  /api/v1/events         live campaign-update stream (NDJSON/SSE)
+//	GET  /api/v1/healthz        liveness probe
 //
 // Usage:
 //
@@ -26,7 +32,7 @@
 //
 // With -rate 500 the feed replays at 500 samples/sec, approximating a live
 // malware feed; -rate 0 replays as fast as the stages drain. The process
-// keeps serving stats after the replay finishes; pass -exit-after-drain to
+// keeps serving the API after the replay finishes; pass -exit-after-drain to
 // terminate instead (useful for scripting and smoke tests).
 package main
 
@@ -42,16 +48,17 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strconv"
 	"sync"
 	"syscall"
 	"time"
 
+	"cryptomining/internal/api"
 	"cryptomining/internal/core"
 	"cryptomining/internal/ecosim"
 	"cryptomining/internal/model"
 	"cryptomining/internal/persist"
 	"cryptomining/internal/stream"
+	"cryptomining/pkg/apiv1"
 )
 
 func main() {
@@ -61,11 +68,12 @@ func main() {
 		shards         = flag.Int("shards", 0, "concurrent stage chains (0 = GOMAXPROCS)")
 		queue          = flag.Int("queue", 64, "bounded channel depth")
 		rate           = flag.Float64("rate", 0, "replay rate in samples/sec (0 = unthrottled)")
-		httpAddr       = flag.String("http", "127.0.0.1:8090", "HTTP stats listen address")
-		topN           = flag.Int("top", 10, "campaigns returned by /campaigns by default")
+		httpAddr       = flag.String("http", "127.0.0.1:8090", "HTTP API listen address")
+		topN           = flag.Int("top", 10, "campaigns returned by legacy /campaigns by default")
 		dataDir        = flag.String("data-dir", "", "durable state directory: WAL + checkpoints, auto-resume on boot (empty = in-memory only)")
 		ckptEvery      = flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval with -data-dir (0 disables periodic checkpoints)")
-		exitAfterDrain = flag.Bool("exit-after-drain", false, "terminate once the replay has drained")
+		noFeed         = flag.Bool("no-feed", false, "skip the local feed replay; ingest only via POST /api/v1/samples")
+		exitAfterDrain = flag.Bool("exit-after-drain", false, "terminate once the replay has drained (ignored with -no-feed)")
 	)
 	flag.Parse()
 
@@ -73,7 +81,11 @@ func main() {
 	cfg.Seed = *seed
 	log.Printf("generating ecosystem (seed=%d, scale=%.2f)...", *seed, *scale)
 	u := ecosim.Generate(cfg)
-	log.Printf("feed ready: %d samples, %d ground-truth campaigns", u.Corpus.Len(), len(u.Campaigns))
+	if *noFeed {
+		log.Printf("feed replay disabled (-no-feed): %d-sample corpus generated for analysis wiring only", u.Corpus.Len())
+	} else {
+		log.Printf("feed ready: %d samples, %d ground-truth campaigns", u.Corpus.Len(), len(u.Campaigns))
+	}
 
 	streamCfg := core.NewFromUniverse(u).StreamConfig()
 	streamCfg.Shards = *shards // 0 = GOMAXPROCS default
@@ -85,7 +97,7 @@ func main() {
 
 	// With -data-dir, recovery runs before the feed: restore the latest
 	// checkpoint, replay the WAL tail, and fast-forward the (deterministic)
-	// feed by the number of submissions already logged.
+	// feed past the samples it already contributed.
 	var st *persist.Store
 	skip := 0
 	if *dataDir != "" {
@@ -105,7 +117,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("resume: %v", err)
 		}
-		skip = int(info.Logged)
+		// The WAL interleaves feed samples with remote API submissions, so
+		// the feed position cannot be equated with the WAL length. Derive it
+		// from the restored state itself: the length of the already-absorbed
+		// prefix of the deterministic feed order. Samples the recovery just
+		// replayed but that are still in flight — or that an OS crash lost
+		// from the un-fsynced WAL tail — are simply re-fed and deduped by
+		// hash, so the skip can never overshoot what actually survived.
+		skip = feedProgress(eng, u, *seed)
 		if info.Resumed {
 			log.Printf("resumed from %s: snapshot seq %d, %d WAL entries replayed, feed continues at %d/%d",
 				*dataDir, info.SnapshotSeq, info.Replayed, skip, u.Corpus.Len())
@@ -128,108 +147,81 @@ func main() {
 		final *stream.Results
 	)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, eng.Stats())
-	})
-	mux.HandleFunc("/campaigns", func(w http.ResponseWriter, r *http.Request) {
-		n := *topN
-		if v := r.URL.Query().Get("n"); v != "" {
-			parsed, err := strconv.Atoi(v)
+	apiCfg := api.Config{
+		Engine:      eng,
+		Submit:      submit,
+		DefaultTopN: *topN,
+		Results: func() *stream.Results {
+			mu.Lock()
+			defer mu.Unlock()
+			return final
+		},
+	}
+	if st != nil {
+		apiCfg.Checkpoint = func() (apiv1.Checkpoint, error) {
+			info, err := st.Checkpoint()
 			if err != nil {
-				http.Error(w, fmt.Sprintf("invalid n=%q: must be an integer", v), http.StatusBadRequest)
-				return
+				return apiv1.Checkpoint{}, err
 			}
-			if parsed < 0 {
-				parsed = *topN // negatives clamp to the default
-			}
-			n = parsed
+			log.Printf("checkpoint: %s (%d bytes, %d/%d submissions reflected)",
+				info.Path, info.Bytes, info.Processed, info.Logged)
+			return apiv1.Checkpoint{
+				Path:      info.Path,
+				Bytes:     info.Bytes,
+				Logged:    info.Logged,
+				Processed: info.Processed,
+			}, nil
 		}
-		writeJSON(w, eng.Live(n))
-	})
-	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "checkpoint requires POST", http.StatusMethodNotAllowed)
-			return
-		}
-		if st == nil {
-			http.Error(w, "persistence disabled (run with -data-dir)", http.StatusConflict)
-			return
-		}
-		info, err := st.Checkpoint()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		log.Printf("checkpoint: %s (%d bytes, %d/%d submissions reflected)",
-			info.Path, info.Bytes, info.Processed, info.Logged)
-		writeJSON(w, info)
-	})
-	mux.HandleFunc("/results", func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		res := final
-		mu.Unlock()
-		if res == nil {
-			http.Error(w, "replay still in flight", http.StatusNotFound)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"samples":           len(res.Outcomes),
-			"kept":              len(res.Records),
-			"miners":            len(res.MinerRecords),
-			"campaigns":         len(res.Campaigns),
-			"identifiers":       res.Identifiers,
-			"total_xmr":         res.TotalXMR,
-			"total_usd":         res.TotalUSD,
-			"circulation_share": res.CirculationShare,
-		})
-	})
+	}
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		log.Fatalf("http listen: %v", err)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: api.New(apiCfg).Handler()}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("http serve: %v", err)
 		}
 	}()
-	log.Printf("stats API on http://%s (/stats /campaigns /results /checkpoint /healthz)", ln.Addr())
+	log.Printf("service API on http://%s (/api/v1/{stats,campaigns,results,checkpoint,samples,events,healthz} + legacy aliases)", ln.Addr())
 
 	drained := make(chan struct{})
-	go func() {
-		defer close(drained)
-		if err := replay(ctx, submit, u, *seed, *rate, skip); err != nil {
-			log.Printf("replay aborted: %v", err)
-			return
-		}
-		res, err := eng.Finish(ctx)
-		if err != nil {
-			log.Printf("finish: %v", err)
-			return
-		}
-		if st != nil {
-			// Final checkpoint: a restart after completion resumes straight
-			// into the finished state instead of re-analyzing the tail.
-			if _, err := st.Checkpoint(); err != nil {
-				log.Printf("final checkpoint: %v", err)
+	if *noFeed {
+		// Pure service mode: the dataflow never drains on its own; remote
+		// clients keep submitting until the process is stopped.
+	} else {
+		go func() {
+			defer close(drained)
+			if err := replay(ctx, submit, u, *seed, *rate, skip); err != nil {
+				log.Printf("replay aborted: %v", err)
+				return
 			}
-		}
-		mu.Lock()
-		final = res
-		mu.Unlock()
-		es := eng.Stats()
-		log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
-			es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
-			len(res.Records), len(res.Campaigns),
-			model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
-	}()
+			res, err := eng.Finish(ctx)
+			if err != nil {
+				log.Printf("finish: %v", err)
+				return
+			}
+			if st != nil {
+				// Final checkpoint: a restart after completion resumes straight
+				// into the finished state instead of re-analyzing the tail.
+				if _, err := st.Checkpoint(); err != nil {
+					log.Printf("final checkpoint: %v", err)
+				}
+			}
+			mu.Lock()
+			final = res
+			mu.Unlock()
+			es := eng.Stats()
+			log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
+				es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
+				len(res.Records), len(res.Campaigns),
+				model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
+		}()
+	}
 
-	// Periodic checkpoints while the replay is in flight.
+	// Periodic checkpoints while ingestion is live (until drain in feed
+	// mode; for the whole process lifetime with -no-feed).
 	if st != nil && *ckptEvery > 0 {
 		go func() {
 			t := time.NewTicker(*ckptEvery)
@@ -252,7 +244,7 @@ func main() {
 		}()
 	}
 
-	if *exitAfterDrain {
+	if *exitAfterDrain && !*noFeed {
 		select {
 		case <-drained:
 		case <-ctx.Done():
@@ -272,13 +264,35 @@ func main() {
 	_ = srv.Shutdown(shutdownCtx)
 }
 
-// replay submits the corpus in shuffled (seed-deterministic) order, skipping
-// the first skip samples (already logged by a previous process) and
-// throttled to rate samples/sec when rate > 0.
-func replay(ctx context.Context, submit func(context.Context, *model.Sample) error, u *ecosim.Universe, seed int64, rate float64, skip int) error {
+// feedOrder is the seed-deterministic order the feed replays the corpus in.
+func feedOrder(u *ecosim.Universe, seed int64) []string {
 	hashes := u.Corpus.Hashes()
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+	return hashes
+}
+
+// feedProgress reports how far into the feed a restored engine already is:
+// the length of the longest prefix of the feed order whose samples the
+// collector has recorded. The feed submits in order through the WAL, so the
+// absorbed feed samples always form a prefix of that order; stopping at the
+// first unseen hash can therefore never skip a sample that was lost, while
+// anything past the prefix that did survive (or is still in flight from the
+// WAL replay) is re-fed and dropped as a duplicate.
+func feedProgress(eng *stream.Engine, u *ecosim.Universe, seed int64) int {
+	hashes := feedOrder(u, seed)
+	n := 0
+	for n < len(hashes) && eng.HasSample(hashes[n]) {
+		n++
+	}
+	return n
+}
+
+// replay submits the corpus in shuffled (seed-deterministic) order, skipping
+// the first skip samples (already absorbed by a previous process) and
+// throttled to rate samples/sec when rate > 0.
+func replay(ctx context.Context, submit func(context.Context, *model.Sample) error, u *ecosim.Universe, seed int64, rate float64, skip int) error {
+	hashes := feedOrder(u, seed)
 	if skip > len(hashes) {
 		skip = len(hashes)
 	}
@@ -341,11 +355,4 @@ func checkFeedMeta(dir string, seed int64, scale float64, samples int) error {
 			dir, have.Seed, have.Scale, have.Samples, want.Seed, want.Scale, want.Samples)
 	}
 	return nil
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }

@@ -1,0 +1,141 @@
+// Package api is the versioned HTTP service layer of the streaming daemon:
+// a typed REST+streaming surface under /api/v1 over the ingestion engine,
+// plus thin aliases for the historical unversioned endpoints.
+//
+//	GET  /api/v1/stats          live engine counters
+//	GET  /api/v1/campaigns      paginated campaign listing (limit/offset,
+//	                            filters: pool, wallet, min_xmr)
+//	GET  /api/v1/campaigns/{id} full campaign detail
+//	GET  /api/v1/results        final run summary (503 + Retry-After while
+//	                            the replay is still in flight)
+//	POST /api/v1/checkpoint     persist a snapshot now (409 when the daemon
+//	                            runs without persistence)
+//	POST /api/v1/samples        remote ingestion: one JSON sample, or bulk
+//	                            NDJSON (one sample per line)
+//	GET  /api/v1/events         live campaign-update event stream
+//	                            (NDJSON, or SSE for text/event-stream)
+//	GET  /api/v1/healthz        liveness probe
+//
+// Every response body is a typed pkg/apiv1 struct; every non-2xx response is
+// the uniform envelope {"error":{"code","message"}}. Handlers are wired
+// through shared middleware: request logging, panic recovery, and method
+// guards that answer 405 with an Allow header; each individual sample
+// submission is bounded by RequestTimeout (503 backpressure on expiry).
+//
+// Legacy aliases (/stats, /campaigns?n=, /results, /checkpoint, /healthz)
+// keep their historical shapes but share the v1 internals — including the
+// method guards and the 503+Retry-After pending-results behaviour.
+package api
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/stream"
+	"cryptomining/pkg/apiv1"
+)
+
+// Config wires a Server to the engine and the daemon's optional durability
+// hooks.
+type Config struct {
+	// Engine serves the live surface (stats, campaigns, events).
+	Engine *stream.Engine
+	// Submit ingests one sample; defaults to Engine.Submit. Daemons running
+	// with a WAL pass their write-ahead submit here.
+	Submit func(context.Context, *model.Sample) error
+	// Checkpoint persists a snapshot now; nil means persistence is disabled
+	// and POST /checkpoint answers 409.
+	Checkpoint func() (apiv1.Checkpoint, error)
+	// Results returns the final results, or nil while the run is still in
+	// flight (the results endpoints then answer 503 with Retry-After).
+	Results func() *stream.Results
+	// DefaultTopN is the legacy /campaigns default page size (default 10).
+	DefaultTopN int
+	// RequestTimeout bounds each individual sample submission into the
+	// engine (default 30s); expiry surfaces as 503 backpressure.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with pending results (default 1s).
+	RetryAfter time.Duration
+	// EventBuffer is the per-subscriber event channel capacity (default 1024).
+	EventBuffer int
+	// Logger receives request logs and encode failures (default log.Default).
+	Logger *log.Logger
+}
+
+// Server is the versioned API surface. Create with New, mount via Handler.
+type Server struct {
+	cfg     Config
+	log     *log.Logger
+	handler http.Handler
+}
+
+// New builds a Server from the configuration, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Submit == nil && cfg.Engine != nil {
+		cfg.Submit = cfg.Engine.Submit
+	}
+	if cfg.DefaultTopN <= 0 {
+		cfg.DefaultTopN = 10
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 1024
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	s := &Server{cfg: cfg, log: cfg.Logger}
+	// Recovery sits inside logging so a panicked request still gets its log
+	// line (as a recovered 500).
+	s.handler = s.logRequests(s.recoverPanics(s.routes()))
+	return s
+}
+
+// Handler returns the fully middleware-wrapped root handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// routes builds the method-guarded route table. The v1 handlers and the
+// legacy aliases share implementations; only parameter conventions and
+// response shapes differ where the legacy surface promised them.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.Handle("/api/v1/stats", s.route(s.handleStats, http.MethodGet))
+	mux.Handle("/api/v1/campaigns", s.route(s.handleCampaigns, http.MethodGet))
+	mux.Handle("/api/v1/campaigns/{id}", s.route(s.handleCampaignDetail, http.MethodGet))
+	mux.Handle("/api/v1/results", s.route(s.handleResults, http.MethodGet))
+	mux.Handle("/api/v1/checkpoint", s.route(s.handleCheckpoint, http.MethodPost))
+	mux.Handle("/api/v1/samples", s.route(s.handleSamples, http.MethodPost))
+	mux.Handle("/api/v1/healthz", s.route(s.handleHealthV1, http.MethodGet))
+	mux.Handle("/api/v1/events", s.route(s.handleEvents, http.MethodGet))
+
+	// Legacy aliases.
+	mux.Handle("/stats", s.route(s.handleStats, http.MethodGet))
+	mux.Handle("/campaigns", s.route(s.handleLegacyCampaigns, http.MethodGet))
+	mux.Handle("/results", s.route(s.handleResults, http.MethodGet))
+	mux.Handle("/checkpoint", s.route(s.handleCheckpoint, http.MethodPost))
+	mux.Handle("/healthz", s.route(s.handleHealthLegacy, http.MethodGet))
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, "no such endpoint: "+r.URL.Path)
+	})
+	return mux
+}
+
+// route wraps a handler in the per-endpoint middleware (the method guard).
+// There is deliberately no blanket request deadline: the streaming routes
+// (events, bulk samples) legitimately outlive any fixed bound, and the
+// snapshot reads complete in-memory; the one operation that can stall —
+// submitting into a backpressured engine — is individually bounded by
+// RequestTimeout in submitWire, surfacing as 503.
+func (s *Server) route(h http.HandlerFunc, allow ...string) http.Handler {
+	return s.methods(h, allow...)
+}

@@ -1,0 +1,186 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/stream"
+	"cryptomining/pkg/apiv1"
+)
+
+// StatsToWire converts the engine's live counters to the wire shape.
+func StatsToWire(st stream.Stats) apiv1.Stats {
+	out := apiv1.Stats{
+		UptimeNanos:        int64(st.Uptime),
+		Shards:             st.Shards,
+		Submitted:          st.Submitted,
+		Analyzed:           st.Analyzed,
+		Duplicates:         st.Duplicates,
+		SamplesPerSec:      st.SamplesPerSec,
+		Kept:               st.Kept,
+		Miners:             st.Miners,
+		IllicitWalletFlips: st.IllicitWalletFlips,
+		Campaigns:          st.Campaigns,
+		Wallets:            st.Wallets,
+		TotalXMR:           st.TotalXMR,
+		TotalUSD:           st.TotalUSD,
+		Backpressure:       st.Backpressure,
+	}
+	for _, sg := range st.Stages {
+		out.Stages = append(out.Stages, apiv1.StageStats{
+			Name:      sg.Name,
+			Processed: sg.Processed,
+			AvgNanos:  int64(sg.AvgNanos),
+		})
+	}
+	return out
+}
+
+// CampaignToWire converts one live campaign summary to the wire shape.
+func CampaignToWire(v stream.CampaignView) apiv1.Campaign {
+	return apiv1.Campaign{
+		ID:          v.ID,
+		Samples:     v.Samples,
+		Ancillaries: v.Ancillaries,
+		Wallets:     v.Wallets,
+		Pools:       v.Pools,
+		XMR:         v.XMR,
+		USD:         v.USD,
+		Active:      v.Active,
+	}
+}
+
+// CampaignsToWire converts a slice of live campaign summaries.
+func CampaignsToWire(views []stream.CampaignView) []apiv1.Campaign {
+	out := make([]apiv1.Campaign, 0, len(views))
+	for _, v := range views {
+		out = append(out, CampaignToWire(v))
+	}
+	return out
+}
+
+// DetailToWire converts one full campaign view to the wire shape.
+func DetailToWire(d stream.CampaignDetail) apiv1.CampaignDetail {
+	return apiv1.CampaignDetail{
+		Campaign:        CampaignToWire(d.CampaignView),
+		SampleHashes:    d.SampleHashes,
+		AncillaryHashes: d.AncillaryHashes,
+		Currencies:      d.Currencies,
+		CNAMEs:          d.CNAMEs,
+		Proxies:         d.Proxies,
+		HostingDomains:  d.HostingDomains,
+		PPIBotnets:      d.PPIBotnets,
+		StockTools:      d.StockTools,
+		KnownOperations: d.KnownOperations,
+		UsesObfuscation: d.UsesObfuscation,
+		FirstSeen:       d.FirstSeen,
+		LastSeen:        d.LastSeen,
+		Payments:        d.Payments,
+		PoolsUsed:       d.PoolsUsed,
+		FirstPayment:    d.FirstPayment,
+		LastPayment:     d.LastPayment,
+	}
+}
+
+// ResultsToWire condenses final results into the wire summary. The field
+// selection matches the historical /results body exactly.
+func ResultsToWire(res *stream.Results) apiv1.Results {
+	return apiv1.Results{
+		Samples:          len(res.Outcomes),
+		Kept:             len(res.Records),
+		Miners:           len(res.MinerRecords),
+		Campaigns:        len(res.Campaigns),
+		Identifiers:      res.Identifiers,
+		TotalXMR:         res.TotalXMR,
+		TotalUSD:         res.TotalUSD,
+		CirculationShare: res.CirculationShare,
+	}
+}
+
+// ViewsFromResults builds the campaign listing a live engine would serve
+// after absorbing exactly the given results: summary views in
+// earnings-descending order, ties broken by the deterministic partition
+// order. Used by smoke tooling to diff API output against a batch run.
+func ViewsFromResults(res *stream.Results) []apiv1.Campaign {
+	views := make([]apiv1.Campaign, 0, len(res.Campaigns))
+	for _, c := range res.Campaigns {
+		views = append(views, apiv1.Campaign{
+			ID:          c.ID,
+			Samples:     len(c.Samples),
+			Ancillaries: len(c.Ancillaries),
+			Wallets:     c.Wallets,
+			Pools:       c.Pools,
+			XMR:         c.XMRMined,
+			USD:         c.USDEarned,
+			Active:      c.Active,
+		})
+	}
+	sort.SliceStable(views, func(i, j int) bool { return views[i].XMR > views[j].XMR })
+	return views
+}
+
+// EventToWire converts one engine event to the wire shape.
+func EventToWire(ev stream.Event) apiv1.Event {
+	return apiv1.Event{
+		Seq:        ev.Seq,
+		Type:       string(ev.Type),
+		SHA256:     ev.SHA256,
+		SampleType: ev.SampleType,
+		Wallet:     ev.Wallet,
+		Pool:       ev.Pool,
+		Campaigns:  ev.Campaigns,
+		Kept:       ev.Kept,
+	}
+}
+
+// SampleToWire converts a model sample to its ingestion request shape.
+func SampleToWire(s *model.Sample) apiv1.Sample {
+	out := apiv1.Sample{
+		SHA256:           s.SHA256,
+		MD5:              s.MD5,
+		Content:          s.Content,
+		FirstSeen:        s.FirstSeen,
+		ITWURLs:          s.ITWURLs,
+		Parents:          s.Parents,
+		ContactedDomains: s.ContactedDomains,
+		DroppedHashes:    s.DroppedHashes,
+	}
+	for _, src := range s.Sources {
+		out.Sources = append(out.Sources, string(src))
+	}
+	return out
+}
+
+// SampleFromWire validates an ingestion request and converts it to the model
+// sample the engine consumes.
+func SampleFromWire(ws apiv1.Sample) (*model.Sample, error) {
+	if ws.SHA256 == "" && len(ws.Content) == 0 {
+		return nil, errors.New("sample needs a sha256 or content")
+	}
+	if ws.SHA256 != "" {
+		if len(ws.SHA256) != 64 {
+			return nil, fmt.Errorf("sha256 %q: want 64 hex characters", ws.SHA256)
+		}
+		for _, c := range ws.SHA256 {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+				return nil, fmt.Errorf("sha256 %q: not hex", ws.SHA256)
+			}
+		}
+	}
+	s := &model.Sample{
+		SHA256:           ws.SHA256,
+		MD5:              ws.MD5,
+		Content:          ws.Content,
+		FirstSeen:        ws.FirstSeen,
+		ITWURLs:          ws.ITWURLs,
+		Parents:          ws.Parents,
+		ContactedDomains: ws.ContactedDomains,
+		DroppedHashes:    ws.DroppedHashes,
+	}
+	for _, src := range ws.Sources {
+		s.Sources = append(s.Sources, model.Source(src))
+	}
+	return s, nil
+}

@@ -1,0 +1,318 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cryptomining/internal/stream"
+	"cryptomining/pkg/apiv1"
+)
+
+// maxNDJSONLine bounds one bulk-ingestion line (samples carry base64 bodies).
+const maxNDJSONLine = 32 << 20
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, StatsToWire(s.cfg.Engine.Stats()))
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(r *http.Request, name string) (int, bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, false, fmt.Errorf("invalid %s=%q: must be an integer", name, raw)
+	}
+	if v < 0 {
+		return 0, false, fmt.Errorf("invalid %s=%d: must be >= 0", name, v)
+	}
+	return v, true, nil
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	limit, _, err := queryInt(r, "limit")
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+		return
+	}
+	offset, _, err := queryInt(r, "offset")
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+		return
+	}
+	filter := stream.CampaignFilter{
+		Pool:   r.URL.Query().Get("pool"),
+		Wallet: r.URL.Query().Get("wallet"),
+	}
+	if raw := r.URL.Query().Get("min_xmr"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+				fmt.Sprintf("invalid min_xmr=%q: must be a non-negative number", raw))
+			return
+		}
+		filter.MinXMR = v
+	}
+
+	views := s.cfg.Engine.LiveFiltered(filter)
+	page := apiv1.CampaignPage{
+		Total:     len(views),
+		Limit:     limit,
+		Offset:    offset,
+		Campaigns: []apiv1.Campaign{},
+	}
+	if offset < len(views) {
+		window := views[offset:]
+		if limit > 0 && limit < len(window) {
+			window = window[:limit]
+		}
+		page.Campaigns = CampaignsToWire(window)
+	}
+	s.writeJSON(w, http.StatusOK, page)
+}
+
+func (s *Server) handleCampaignDetail(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+			fmt.Sprintf("invalid campaign id %q: must be an integer", r.PathValue("id")))
+		return
+	}
+	detail, ok := s.cfg.Engine.CampaignDetail(id)
+	if !ok {
+		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Sprintf("no campaign with id %d", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, DetailToWire(detail))
+}
+
+// handleLegacyCampaigns keeps the historical surface: ?n= (invalid -> 400,
+// negative -> default top-N, 0 -> all) and a bare JSON array body.
+func (s *Server) handleLegacyCampaigns(w http.ResponseWriter, r *http.Request) {
+	n := s.cfg.DefaultTopN
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+				fmt.Sprintf("invalid n=%q: must be an integer", raw))
+			return
+		}
+		if parsed >= 0 {
+			n = parsed
+		}
+	}
+	s.writeJSON(w, http.StatusOK, CampaignsToWire(s.cfg.Engine.Live(n)))
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	var res *stream.Results
+	if s.cfg.Results != nil {
+		res = s.cfg.Results()
+	}
+	if res == nil {
+		// 503 + Retry-After, not 404: the route exists, the resource is just
+		// not ready yet, and pollers should keep polling.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+		s.error(w, http.StatusServiceUnavailable, apiv1.CodeResultsPending,
+			"results pending: replay still in flight")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ResultsToWire(res))
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Checkpoint == nil {
+		s.error(w, http.StatusConflict, apiv1.CodePersistenceDisabled,
+			"persistence disabled (run with -data-dir)")
+		return
+	}
+	info, err := s.cfg.Checkpoint()
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// submitWire validates and submits one decoded sample, writing the mapped
+// error on failure. Reports whether ingestion may continue.
+func (s *Server) submitWire(w http.ResponseWriter, ctx context.Context, ws apiv1.Sample, lineinfo string) bool {
+	sample, err := SampleFromWire(ws)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, lineinfo+err.Error())
+		return false
+	}
+	if s.cfg.Submit == nil {
+		s.error(w, http.StatusConflict, apiv1.CodeIngestClosed, "ingestion not available")
+		return false
+	}
+	// Bound each submission rather than the whole request: bulk bodies may
+	// legitimately take arbitrarily long, but any single sample the engine
+	// cannot absorb within the request timeout is a stall, and the client
+	// should see the advertised 503 instead of hanging.
+	sctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.cfg.Submit(sctx, sample); err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.error(w, http.StatusServiceUnavailable, apiv1.CodeBackpressure,
+				lineinfo+"ingestion backpressure: "+err.Error())
+		case errors.Is(err, stream.ErrFinished) || errors.Is(err, stream.ErrNotStarted):
+			s.error(w, http.StatusConflict, apiv1.CodeIngestClosed, lineinfo+err.Error())
+		default:
+			// Infrastructure failures (e.g. a WAL write error) are server
+			// faults, not a closed intake: 500 so clients keep retrying.
+			s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, lineinfo+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	ctype := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ctype); err == nil {
+		ctype = mt
+	}
+	switch ctype {
+	case "application/x-ndjson", "application/ndjson":
+		s.ingestBulk(w, r)
+	default:
+		dec := json.NewDecoder(r.Body)
+		var ws apiv1.Sample
+		if err := dec.Decode(&ws); err != nil {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, "decode sample: "+err.Error())
+			return
+		}
+		// Reject trailing values instead of silently dropping them: an
+		// NDJSON body posted without the ndjson Content-Type would otherwise
+		// ingest only its first line while reporting success.
+		if dec.More() {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+				"body contains more than one JSON value; bulk uploads need Content-Type: application/x-ndjson")
+			return
+		}
+		if !s.submitWire(w, r.Context(), ws, "") {
+			return
+		}
+		s.writeJSON(w, http.StatusAccepted, apiv1.IngestResult{Accepted: 1})
+	}
+}
+
+// ingestBulk streams an NDJSON body into the engine, one sample per line.
+// Lines are applied in order; a malformed line aborts the request with 400,
+// naming the line and how many earlier samples were already accepted.
+func (s *Server) ingestBulk(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxNDJSONLine)
+	line, accepted := 0, 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ws apiv1.Sample
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+				fmt.Sprintf("line %d: %v (%d samples already accepted)", line, err, accepted))
+			return
+		}
+		if !s.submitWire(w, r.Context(), ws, fmt.Sprintf("line %d: ", line)) {
+			return
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+			fmt.Sprintf("read body after line %d: %v (%d samples already accepted)", line, err, accepted))
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, apiv1.IngestResult{Accepted: accepted})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, "streaming unsupported")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	sse := format == "sse" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream"))
+
+	// A HEAD probe must not subscribe to a never-ending stream: answer the
+	// headers and end the response.
+	if r.Method == http.MethodHead {
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+
+	events, cancel := s.cfg.Engine.Subscribe(s.cfg.EventBuffer)
+	defer cancel()
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			buf, err := json.Marshal(EventToWire(ev))
+			if err != nil {
+				s.log.Printf("api: encode event: %v", err)
+				continue
+			}
+			if sse {
+				_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, buf)
+			} else {
+				buf = append(buf, '\n')
+				_, err = w.Write(buf)
+			}
+			if err != nil {
+				return // client gone
+			}
+			flusher.Flush()
+			if ev.Type == stream.EventDrained {
+				// Drained is terminal: end the stream so iterating clients
+				// get EOF instead of blocking on a run that will never emit
+				// another event.
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, apiv1.Health{Status: "ok"})
+}
+
+// handleHealthLegacy keeps the historical plain-text probe body.
+func (s *Server) handleHealthLegacy(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}

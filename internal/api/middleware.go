@@ -1,0 +1,101 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// methods guards a handler against unsupported HTTP methods: anything not
+// listed answers 405 with an Allow header and the uniform error envelope.
+// HEAD rides along wherever GET is allowed.
+func (s *Server) methods(h http.Handler, allow ...string) http.Handler {
+	allowHeader := strings.Join(allow, ", ")
+	for _, m := range allow {
+		if m == http.MethodGet {
+			allowHeader += ", " + http.MethodHead
+			break
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range allow {
+			if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
+				h.ServeHTTP(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allowHeader)
+		s.error(w, http.StatusMethodNotAllowed, apiv1.CodeMethodNotAllowed,
+			fmt.Sprintf("%s does not allow %s (allowed: %s)", r.URL.Path, r.Method, allowHeader))
+	})
+}
+
+// statusWriter captures the response status and size for the request log. It
+// forwards Flush so streaming handlers keep working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests emits one line per request: method, path, status, bytes,
+// duration.
+func (s *Server) logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Printf("api: %s %s -> %d (%dB, %s)",
+			r.Method, r.URL.RequestURI(), sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recoverPanics converts a handler panic into a logged 500 envelope instead
+// of tearing down the connection (http.ErrAbortHandler keeps its meaning).
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil || p == http.ErrAbortHandler {
+				if p != nil {
+					panic(p)
+				}
+				return
+			}
+			s.log.Printf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote a body this will be
+			// ignored or garbled, but the connection survives either way.
+			s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, "internal error")
+		}()
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,26 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// writeJSON writes v as indented JSON with an explicit charset. Encode
+// failures (marshalling errors or a client gone mid-write) are logged
+// instead of silently discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("api: encode %T response: %v", v, err)
+	}
+}
+
+// error writes the uniform error envelope.
+func (s *Server) error(w http.ResponseWriter, status int, code, message string) {
+	s.writeJSON(w, status, apiv1.ErrorEnvelope{Error: apiv1.Error{Code: code, Message: message}})
+}

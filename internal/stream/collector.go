@@ -253,6 +253,16 @@ func (c *collector) keep(o *SampleOutcome) {
 			c.e.stats.addLiveProfit(act.TotalXMR, act.TotalUSD)
 		}
 	}
+
+	c.e.publish(Event{
+		Type:       EventSampleKept,
+		SHA256:     o.Record.SHA256,
+		SampleType: string(o.Record.Type),
+		Wallet:     o.Record.User,
+		Pool:       o.Record.Pool,
+		Campaigns:  c.agg.Len(),
+		Kept:       int(c.e.stats.kept.Load()),
+	})
 }
 
 // relFind returns the relation-component root of a sample hash.
@@ -340,5 +350,11 @@ func (c *collector) finalize() *Results {
 		res.TotalUSD += cp.USD
 	}
 	res.CirculationShare = profit.CirculationShare(res.TotalXMR, c.e.cfg.Network, c.e.cfg.QueryTime)
+
+	c.e.publish(Event{
+		Type:      EventDrained,
+		Campaigns: len(res.Campaigns),
+		Kept:      len(res.Records),
+	})
 	return res
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +20,9 @@ import (
 
 // ErrNotStarted is returned by Submit/Finish before Start.
 var ErrNotStarted = errors.New("stream: engine not started")
+
+// ErrFinished is returned by Submit once Finish has closed the intake.
+var ErrFinished = errors.New("stream: submit after Finish")
 
 // Engine is the streaming ingestion engine. Typical use:
 //
@@ -64,6 +68,16 @@ type Engine struct {
 	// send on a closed channel.
 	submitMu  sync.RWMutex
 	finishing atomic.Bool
+
+	// subMu guards the event subscriptions (see events.go). It is strictly
+	// below mu in the lock order: publish is called with mu held.
+	subMu     sync.Mutex
+	subs      map[int]chan Event
+	nextSubID int
+	evSeq     uint64
+	// drainedEv retains the terminal EventDrained so late subscribers still
+	// receive it (guarded by subMu).
+	drainedEv *Event
 }
 
 // New creates an engine; call Start before submitting. The shard structures
@@ -81,6 +95,7 @@ func New(cfg Config) *Engine {
 		done:     make(chan struct{}),
 		ackLow:   1,
 		ackAbove: map[uint64]struct{}{},
+		subs:     map[int]chan Event{},
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		e.shards = append(e.shards, newShard(e))
@@ -252,7 +267,7 @@ func (e *Engine) submit(ctx context.Context, sample *model.Sample, seq uint64) e
 	e.submitMu.RLock()
 	defer e.submitMu.RUnlock()
 	if e.finishing.Load() {
-		return errors.New("stream: submit after Finish")
+		return ErrFinished
 	}
 	if sample == nil {
 		return errors.New("stream: nil sample")
@@ -317,16 +332,61 @@ type CampaignView struct {
 	Active      bool     `json:"active"`
 }
 
-// Live snapshots the current campaign partition mid-ingestion and returns the
-// top n campaigns by earnings (all of them when n <= 0). Dirty campaigns are
-// rebuilt and re-priced incrementally; clean ones reuse both their cached
-// campaign and their cached profit (a rebuilt campaign is a fresh pointer, so
-// the pointer-keyed profit cache misses exactly when re-pricing is needed).
-func (e *Engine) Live(n int) []CampaignView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// CampaignDetail is the full live view of one campaign: the summary fields
+// plus membership hashes, enrichment and the profit breakdown.
+type CampaignDetail struct {
+	CampaignView
+	SampleHashes    []string  `json:"sample_hashes,omitempty"`
+	AncillaryHashes []string  `json:"ancillary_hashes,omitempty"`
+	Currencies      []string  `json:"currencies,omitempty"`
+	CNAMEs          []string  `json:"cnames,omitempty"`
+	Proxies         []string  `json:"proxies,omitempty"`
+	HostingDomains  []string  `json:"hosting_domains,omitempty"`
+	PPIBotnets      []string  `json:"ppi_botnets,omitempty"`
+	StockTools      []string  `json:"stock_tools,omitempty"`
+	KnownOperations []string  `json:"known_operations,omitempty"`
+	UsesObfuscation bool      `json:"uses_obfuscation"`
+	FirstSeen       time.Time `json:"first_seen"`
+	LastSeen        time.Time `json:"last_seen"`
+	// Payments / PoolsUsed / FirstPayment / LastPayment break the campaign's
+	// profit down by pool activity.
+	Payments     int       `json:"payments"`
+	PoolsUsed    int       `json:"pools_used"`
+	FirstPayment time.Time `json:"first_payment,omitzero"`
+	LastPayment  time.Time `json:"last_payment,omitzero"`
+}
+
+// CampaignFilter selects live campaigns by attribute; zero values match
+// everything.
+type CampaignFilter struct {
+	// Pool keeps campaigns that mined at the named pool.
+	Pool string
+	// Wallet keeps campaigns that used the identifier.
+	Wallet string
+	// MinXMR keeps campaigns that earned at least this much.
+	MinXMR float64
+}
+
+func (f CampaignFilter) matches(c *model.Campaign, cp profit.CampaignProfit) bool {
+	if f.MinXMR > 0 && cp.XMR < f.MinXMR {
+		return false
+	}
+	if f.Pool != "" && !slices.Contains(c.Pools, f.Pool) {
+		return false
+	}
+	if f.Wallet != "" && !slices.Contains(c.Wallets, f.Wallet) {
+		return false
+	}
+	return true
+}
+
+// liveCampaigns snapshots the current campaign partition and returns every
+// campaign priced. Dirty campaigns are rebuilt and re-priced incrementally;
+// clean ones reuse both their cached campaign and their cached profit (a
+// rebuilt campaign is a fresh pointer, so the pointer-keyed profit cache
+// misses exactly when re-pricing is needed). Caller must hold e.mu.
+func (e *Engine) liveCampaigns() ([]*model.Campaign, map[*model.Campaign]profit.CampaignProfit) {
 	res := e.col.agg.Snapshot()
-	views := make([]CampaignView, 0, len(res.Campaigns))
 	fresh := make(map[*model.Campaign]profit.CampaignProfit, len(res.Campaigns))
 	for _, c := range res.Campaigns {
 		cp, priced := e.col.profitCache[c]
@@ -334,24 +394,107 @@ func (e *Engine) Live(n int) []CampaignView {
 			cp = profit.AnalyzeCampaignWith(c, e.col.wallets.CollectWallet, e.cfg.QueryTime)
 		}
 		fresh[c] = cp
-		views = append(views, CampaignView{
-			ID:          c.ID,
-			Samples:     len(c.Samples),
-			Ancillaries: len(c.Ancillaries),
-			Wallets:     c.Wallets,
-			Pools:       c.Pools,
-			XMR:         cp.XMR,
-			USD:         cp.USD,
-			Active:      cp.ActiveAt,
-		})
 	}
 	// Swap in the rebuilt cache so entries for replaced campaigns are dropped.
 	e.col.profitCache = fresh
-	sort.SliceStable(views, func(i, j int) bool { return views[i].XMR > views[j].XMR })
+	return res.Campaigns, fresh
+}
+
+func viewOf(c *model.Campaign, cp profit.CampaignProfit) CampaignView {
+	return CampaignView{
+		ID:          c.ID,
+		Samples:     len(c.Samples),
+		Ancillaries: len(c.Ancillaries),
+		Wallets:     c.Wallets,
+		Pools:       c.Pools,
+		XMR:         cp.XMR,
+		USD:         cp.USD,
+		Active:      cp.ActiveAt,
+	}
+}
+
+// Live snapshots the current campaign partition mid-ingestion and returns the
+// top n campaigns by earnings (all of them when n <= 0).
+func (e *Engine) Live(n int) []CampaignView {
+	views := e.LiveFiltered(CampaignFilter{})
 	if n > 0 && n < len(views) {
 		views = views[:n]
 	}
 	return views
+}
+
+// LiveFiltered snapshots the current campaign partition and returns the
+// matching campaigns, sorted by earnings (highest first).
+func (e *Engine) LiveFiltered(f CampaignFilter) []CampaignView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	campaigns, profits := e.liveCampaigns()
+	views := make([]CampaignView, 0, len(campaigns))
+	for _, c := range campaigns {
+		if cp := profits[c]; f.matches(c, cp) {
+			views = append(views, viewOf(c, cp))
+		}
+	}
+	sort.SliceStable(views, func(i, j int) bool { return views[i].XMR > views[j].XMR })
+	return views
+}
+
+// CampaignDetail returns the full live view of the campaign with the given
+// snapshot ID, or false when no such campaign exists. IDs are positions in
+// the deterministic partition ordering, so they are stable for a fixed
+// sample set but may shift as new campaigns appear mid-ingestion. Unlike
+// the listing, only the requested campaign is (re-)priced, so a detail
+// request does not stall ingestion for a full-partition profit pass; the
+// cache entry it adds is reconciled by the next listing's cache swap.
+func (e *Engine) CampaignDetail(id int) (CampaignDetail, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := e.col.agg.Snapshot()
+	for _, c := range res.Campaigns {
+		if c.ID != id {
+			continue
+		}
+		cp, priced := e.col.profitCache[c]
+		if !priced {
+			cp = profit.AnalyzeCampaignWith(c, e.col.wallets.CollectWallet, e.cfg.QueryTime)
+			e.col.profitCache[c] = cp
+		}
+		d := CampaignDetail{
+			CampaignView:    viewOf(c, cp),
+			SampleHashes:    c.Samples,
+			AncillaryHashes: c.Ancillaries,
+			CNAMEs:          c.CNAMEs,
+			Proxies:         c.Proxies,
+			HostingDomains:  c.HostingDomains,
+			PPIBotnets:      c.PPIBotnets,
+			StockTools:      c.StockTools,
+			KnownOperations: c.KnownOperations,
+			UsesObfuscation: c.UsesObfuscation,
+			FirstSeen:       c.FirstSeen,
+			LastSeen:        c.LastSeen,
+			Payments:        len(cp.Payments),
+			PoolsUsed:       cp.PoolsUsed,
+			FirstPayment:    cp.FirstPayment,
+			LastPayment:     cp.LastPayment,
+		}
+		for _, cur := range c.Currencies {
+			d.Currencies = append(d.Currencies, string(cur))
+		}
+		return d, true
+	}
+	return CampaignDetail{}, false
+}
+
+// HasSample reports whether the collector has already recorded an outcome
+// for the sample hash (case-insensitive SHA-256). Samples still in flight
+// in the stage pipeline are not visible yet; callers using this to avoid
+// re-submission must tolerate the false negative (the collector drops
+// duplicates by hash, so re-submitting is always safe).
+func (e *Engine) HasSample(sha string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.col.outcomes[lowerHash(sha)]
+	return ok
 }
 
 // Stats returns a live snapshot of the engine's counters.

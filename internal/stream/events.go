@@ -1,0 +1,100 @@
+package stream
+
+// EventType classifies engine event notifications.
+type EventType string
+
+const (
+	// EventSampleKept fires when a sample enters the dataset, updating its
+	// campaign (directly or by creating/merging components).
+	EventSampleKept EventType = "sample_kept"
+	// EventDrained fires once, when Finish has assembled the final results.
+	EventDrained EventType = "drained"
+)
+
+// Event is one live notification from the collector: a campaign-affecting
+// state change, emitted as it happens. Events are telemetry, not a durable
+// log — subscribers that fall behind lose events (see Subscribe).
+type Event struct {
+	// Seq is a process-global, monotonically increasing event number; gaps
+	// on a subscription mean events were dropped for that subscriber.
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	// SHA256 / SampleType / Wallet / Pool describe the kept sample for
+	// EventSampleKept.
+	SHA256     string `json:"sha256,omitempty"`
+	SampleType string `json:"sample_type,omitempty"`
+	Wallet     string `json:"wallet,omitempty"`
+	Pool       string `json:"pool,omitempty"`
+	// Campaigns / Kept are the running partition size and dataset size at
+	// emission time (the final figures for EventDrained).
+	Campaigns int `json:"campaigns"`
+	Kept      int `json:"kept"`
+}
+
+// Subscribe registers a live event subscription and returns its channel plus
+// a cancel function (idempotent; cancel closes the channel). The channel is
+// buffered with capacity buf (a default is applied when buf <= 0); delivery
+// is lossy — when a subscriber's buffer is full, events are dropped for that
+// subscriber rather than blocking the collector. Seq gaps reveal drops.
+// EventDrained is terminal: every subscription's channel is closed at the
+// drain (after a best-effort delivery of the drained event), and a
+// subscriber arriving later receives the retained drained event and an
+// already-closed channel — so consumers reading to channel close always
+// terminate.
+func (e *Engine) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch := make(chan Event, buf)
+	e.subMu.Lock()
+	if e.drainedEv != nil {
+		// Terminal state: deliver the retained drained event (buffered,
+		// cannot block) and close; the subscription is never registered.
+		ch <- *e.drainedEv
+		close(ch)
+		e.subMu.Unlock()
+		return ch, func() {}
+	}
+	id := e.nextSubID
+	e.nextSubID++
+	e.subs[id] = ch
+	e.subMu.Unlock()
+
+	// Membership check makes cancel idempotent and safe against the drain
+	// having already closed the channel.
+	cancel := func() {
+		e.subMu.Lock()
+		if _, ok := e.subs[id]; ok {
+			delete(e.subs, id)
+			close(ch)
+		}
+		e.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish fans one event out to every subscriber, non-blocking. Safe to call
+// from the collector while holding e.mu: it only takes subMu, which nothing
+// acquires e.mu under.
+func (e *Engine) publish(ev Event) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	e.evSeq++
+	ev.Seq = e.evSeq
+	terminal := ev.Type == EventDrained
+	if terminal {
+		e.drainedEv = &ev
+	}
+	for id, ch := range e.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall ingestion
+		}
+		if terminal {
+			// Close even when the full buffer dropped the drained event
+			// itself, so every consumer still observes end-of-stream.
+			delete(e.subs, id)
+			close(ch)
+		}
+	}
+}

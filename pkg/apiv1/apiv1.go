@@ -1,0 +1,181 @@
+// Package apiv1 defines the wire types of the versioned service API served
+// under /api/v1 by the streaming daemon. The server (internal/api) and the
+// Go SDK (pkg/client) share these structs, so the two sides can never drift;
+// external tooling may import this package directly for the JSON shapes.
+//
+// Versioning policy: within v1 the surface only changes additively — new
+// endpoints, new optional fields, new query parameters. Removing or renaming
+// a field, changing a type, or changing the meaning of a status code
+// requires a new /api/v2 prefix served alongside v1.
+package apiv1
+
+import "time"
+
+// Error codes carried in the uniform error envelope.
+const (
+	CodeBadRequest          = "bad_request"
+	CodeNotFound            = "not_found"
+	CodeMethodNotAllowed    = "method_not_allowed"
+	CodeResultsPending      = "results_pending"
+	CodePersistenceDisabled = "persistence_disabled"
+	CodeIngestClosed        = "ingest_closed"
+	CodeBackpressure        = "backpressure"
+	CodeInternal            = "internal"
+)
+
+// Error is the body of the uniform error envelope.
+type Error struct {
+	// Code is a stable machine-readable identifier (see the Code constants).
+	Code string `json:"code"`
+	// Message is a human-readable explanation.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope wraps every non-2xx response body:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// StageStats is the live latency profile of one analysis stage.
+type StageStats struct {
+	Name      string `json:"name"`
+	Processed int64  `json:"processed"`
+	AvgNanos  int64  `json:"avg_latency_ns"`
+}
+
+// Stats mirrors the engine's live counters (GET /api/v1/stats).
+type Stats struct {
+	UptimeNanos        int64        `json:"uptime_ns"`
+	Shards             int          `json:"shards"`
+	Submitted          int64        `json:"submitted"`
+	Analyzed           int64        `json:"analyzed"`
+	Duplicates         int64        `json:"duplicates"`
+	SamplesPerSec      float64      `json:"samples_per_sec"`
+	Kept               int64        `json:"kept"`
+	Miners             int64        `json:"miners"`
+	IllicitWalletFlips int64        `json:"illicit_wallet_flips"`
+	Campaigns          int64        `json:"campaigns"`
+	Wallets            int64        `json:"wallets"`
+	TotalXMR           float64      `json:"total_xmr"`
+	TotalUSD           float64      `json:"total_usd"`
+	Backpressure       int          `json:"backpressure"`
+	Stages             []StageStats `json:"stages"`
+}
+
+// Campaign is the summary view of one live campaign
+// (GET /api/v1/campaigns).
+type Campaign struct {
+	ID          int      `json:"id"`
+	Samples     int      `json:"samples"`
+	Ancillaries int      `json:"ancillaries"`
+	Wallets     []string `json:"wallets,omitempty"`
+	Pools       []string `json:"pools,omitempty"`
+	XMR         float64  `json:"xmr"`
+	USD         float64  `json:"usd"`
+	Active      bool     `json:"active"`
+}
+
+// CampaignPage is the paginated campaign listing envelope.
+type CampaignPage struct {
+	// Total counts campaigns matching the filters, before pagination.
+	Total int `json:"total"`
+	// Limit / Offset echo the effective pagination window (limit 0 = all).
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+	// Campaigns are the matching campaigns, sorted by XMR earned (desc).
+	Campaigns []Campaign `json:"campaigns"`
+}
+
+// CampaignDetail is the full view of one campaign
+// (GET /api/v1/campaigns/{id}).
+type CampaignDetail struct {
+	Campaign
+	SampleHashes    []string  `json:"sample_hashes,omitempty"`
+	AncillaryHashes []string  `json:"ancillary_hashes,omitempty"`
+	Currencies      []string  `json:"currencies,omitempty"`
+	CNAMEs          []string  `json:"cnames,omitempty"`
+	Proxies         []string  `json:"proxies,omitempty"`
+	HostingDomains  []string  `json:"hosting_domains,omitempty"`
+	PPIBotnets      []string  `json:"ppi_botnets,omitempty"`
+	StockTools      []string  `json:"stock_tools,omitempty"`
+	KnownOperations []string  `json:"known_operations,omitempty"`
+	UsesObfuscation bool      `json:"uses_obfuscation"`
+	FirstSeen       time.Time `json:"first_seen"`
+	LastSeen        time.Time `json:"last_seen"`
+	Payments        int       `json:"payments"`
+	PoolsUsed       int       `json:"pools_used"`
+	FirstPayment    time.Time `json:"first_payment,omitzero"`
+	LastPayment     time.Time `json:"last_payment,omitzero"`
+}
+
+// Results is the final run summary (GET /api/v1/results). Field names match
+// the pre-v1 /results body, which the legacy alias still serves.
+type Results struct {
+	Samples          int     `json:"samples"`
+	Kept             int     `json:"kept"`
+	Miners           int     `json:"miners"`
+	Campaigns        int     `json:"campaigns"`
+	Identifiers      int     `json:"identifiers"`
+	TotalXMR         float64 `json:"total_xmr"`
+	TotalUSD         float64 `json:"total_usd"`
+	CirculationShare float64 `json:"circulation_share"`
+}
+
+// Checkpoint reports one completed on-demand checkpoint
+// (POST /api/v1/checkpoint). It mirrors persist.CheckpointInfo.
+type Checkpoint struct {
+	Path      string `json:"path"`
+	Bytes     int64  `json:"bytes"`
+	Logged    uint64 `json:"logged"`
+	Processed uint64 `json:"processed"`
+}
+
+// Sample is the ingestion request body (POST /api/v1/samples): one JSON
+// object, or one object per line for bulk NDJSON. Either SHA256 or Content
+// must be set; content-only samples are hashed server-side.
+type Sample struct {
+	SHA256 string `json:"sha256,omitempty"`
+	MD5    string `json:"md5,omitempty"`
+	// Content is the raw sample body, base64-encoded on the wire.
+	Content          []byte    `json:"content,omitempty"`
+	Sources          []string  `json:"sources,omitempty"`
+	FirstSeen        time.Time `json:"first_seen,omitzero"`
+	ITWURLs          []string  `json:"itw_urls,omitempty"`
+	Parents          []string  `json:"parents,omitempty"`
+	ContactedDomains []string  `json:"contacted_domains,omitempty"`
+	DroppedHashes    []string  `json:"dropped_hashes,omitempty"`
+}
+
+// IngestResult acknowledges a sample submission. Bulk NDJSON bodies are
+// applied in order; on a malformed line the request fails with 400 after the
+// preceding lines were already accepted, and the error message names both
+// the offending line and the accepted count.
+type IngestResult struct {
+	Accepted int `json:"accepted"`
+}
+
+// Event is one live engine notification (GET /api/v1/events), streamed as
+// NDJSON or SSE. Delivery is lossy for slow consumers; gaps in Seq reveal
+// drops.
+type Event struct {
+	Seq        uint64 `json:"seq"`
+	Type       string `json:"type"`
+	SHA256     string `json:"sha256,omitempty"`
+	SampleType string `json:"sample_type,omitempty"`
+	Wallet     string `json:"wallet,omitempty"`
+	Pool       string `json:"pool,omitempty"`
+	Campaigns  int    `json:"campaigns"`
+	Kept       int    `json:"kept"`
+}
+
+// Event type values (mirroring stream.EventType).
+const (
+	EventSampleKept = "sample_kept"
+	EventDrained    = "drained"
+)
+
+// Health is the liveness body served by GET /api/v1/healthz.
+type Health struct {
+	Status string `json:"status"`
+}

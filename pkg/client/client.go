@@ -1,0 +1,240 @@
+// Package client is the Go SDK for the streaming daemon's versioned service
+// API (/api/v1): typed methods for every endpoint, uniform error-envelope
+// decoding, bulk NDJSON sample ingestion and a live event-stream iterator.
+//
+//	cl, _ := client.New("http://127.0.0.1:8090")
+//	stats, err := cl.Stats(ctx)
+//	page, err := cl.Campaigns(ctx, client.CampaignQuery{Limit: 10})
+//
+// Non-2xx responses are returned as *APIError, carrying the HTTP status, the
+// machine-readable code and any Retry-After hint.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// APIError is a decoded error-envelope response.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the stable machine-readable identifier (apiv1.Code*).
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// RetryAfter is the server's retry hint, when one was sent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api error %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// IsPending reports whether err is the "results not ready yet" condition
+// pollers should retry on.
+func IsPending(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == apiv1.CodeResultsPending
+}
+
+// Client talks to one daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (the default has no
+// timeout, so the event stream can run indefinitely; bound individual calls
+// with their context instead).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.http = hc }
+}
+
+// New creates a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8090").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), http: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// do performs one request and decodes the response into out (skipped when
+// out is nil). Non-2xx responses are decoded into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return fmt.Errorf("client: build %s %s: %w", method, path, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, degrading
+// gracefully when the body is not the standard envelope.
+func decodeError(resp *http.Response) error {
+	ae := &APIError{StatusCode: resp.StatusCode, Code: apiv1.CodeInternal}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env apiv1.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var h apiv1.Health
+	return c.do(ctx, http.MethodGet, "/api/v1/healthz", nil, nil, "", &h)
+}
+
+// Stats fetches the live engine counters.
+func (c *Client) Stats(ctx context.Context) (apiv1.Stats, error) {
+	var out apiv1.Stats
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, nil, "", &out)
+	return out, err
+}
+
+// CampaignQuery selects and paginates the campaign listing. Zero values are
+// omitted: no filters, offset 0, and limit 0 meaning "all".
+type CampaignQuery struct {
+	Limit  int
+	Offset int
+	// Pool / Wallet / MinXMR filter by attribute.
+	Pool   string
+	Wallet string
+	MinXMR float64
+}
+
+func (q CampaignQuery) values() url.Values {
+	v := url.Values{}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		v.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.Pool != "" {
+		v.Set("pool", q.Pool)
+	}
+	if q.Wallet != "" {
+		v.Set("wallet", q.Wallet)
+	}
+	if q.MinXMR > 0 {
+		v.Set("min_xmr", strconv.FormatFloat(q.MinXMR, 'g', -1, 64))
+	}
+	return v
+}
+
+// Campaigns lists live campaigns, filtered and paginated.
+func (c *Client) Campaigns(ctx context.Context, q CampaignQuery) (apiv1.CampaignPage, error) {
+	var out apiv1.CampaignPage
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns", q.values(), nil, "", &out)
+	return out, err
+}
+
+// Campaign fetches the full detail view of one campaign.
+func (c *Client) Campaign(ctx context.Context, id int) (apiv1.CampaignDetail, error) {
+	var out apiv1.CampaignDetail
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+strconv.Itoa(id), nil, nil, "", &out)
+	return out, err
+}
+
+// Results fetches the final run summary. While the run is still in flight
+// the daemon answers 503; detect that with IsPending and honour the
+// APIError's RetryAfter.
+func (c *Client) Results(ctx context.Context) (apiv1.Results, error) {
+	var out apiv1.Results
+	err := c.do(ctx, http.MethodGet, "/api/v1/results", nil, nil, "", &out)
+	return out, err
+}
+
+// Checkpoint asks the daemon to persist a snapshot now.
+func (c *Client) Checkpoint(ctx context.Context) (apiv1.Checkpoint, error) {
+	var out apiv1.Checkpoint
+	err := c.do(ctx, http.MethodPost, "/api/v1/checkpoint", nil, nil, "", &out)
+	return out, err
+}
+
+// SubmitSample ingests one sample.
+func (c *Client) SubmitSample(ctx context.Context, s apiv1.Sample) (apiv1.IngestResult, error) {
+	var out apiv1.IngestResult
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return out, fmt.Errorf("client: encode sample: %w", err)
+	}
+	err = c.do(ctx, http.MethodPost, "/api/v1/samples", nil, bytes.NewReader(buf), "application/json", &out)
+	return out, err
+}
+
+// SubmitSamples bulk-ingests samples as one NDJSON request body, applied in
+// order server-side. The body is streamed — samples are encoded as the
+// transport consumes them — so client memory stays flat and the upload
+// overlaps with the engine's absorption, whatever the batch size.
+func (c *Client) SubmitSamples(ctx context.Context, samples []apiv1.Sample) (apiv1.IngestResult, error) {
+	var out apiv1.IngestResult
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for i := range samples {
+			if err := enc.Encode(&samples[i]); err != nil {
+				pw.CloseWithError(fmt.Errorf("client: encode sample %d: %w", i, err))
+				return
+			}
+		}
+		pw.Close()
+	}()
+	err := c.do(ctx, http.MethodPost, "/api/v1/samples", nil, pr, "application/x-ndjson", &out)
+	return out, err
+}

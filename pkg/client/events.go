@@ -1,0 +1,66 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// EventStream iterates a live /api/v1/events subscription (NDJSON framing).
+// Next blocks until the next event, the context ends, or the server closes
+// the stream. Always Close a stream when done.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Events opens a live event subscription. Events missed before the
+// subscription (or dropped while the consumer lags) are not replayed; gaps
+// in Event.Seq reveal drops. Cancel ctx or Close the stream to unsubscribe.
+func (c *Client) Events(ctx context.Context) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/events?format=ndjson", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: build events request: %w", err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: open events stream: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event. io.EOF means the server closed the stream
+// (or the subscription context ended).
+func (s *EventStream) Next() (apiv1.Event, error) {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev apiv1.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return apiv1.Event{}, fmt.Errorf("client: decode event: %w", err)
+		}
+		return ev, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return apiv1.Event{}, err
+	}
+	return apiv1.Event{}, io.EOF
+}
+
+// Close terminates the subscription.
+func (s *EventStream) Close() error { return s.body.Close() }
