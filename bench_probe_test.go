@@ -1,0 +1,95 @@
+// Probe-crawler benchmarks: throughput of the asynchronous wallet-stats
+// scheduler over the in-process directory source (the paper's §III-D
+// crawl-all-wallets-against-all-pools loop), and the cached read path the
+// engine's live pricing rides on, with its hit rate. `go test -bench Probe
+// -benchtime 1x` prints wallets/sec and reads/sec; BENCH_probe.json records
+// a baseline.
+package cryptomining
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/probe"
+)
+
+// poolWallets returns every wallet with ledger activity at any pool of the
+// universe, sorted.
+func poolWallets(u *ecosim.Universe) []string {
+	set := map[string]bool{}
+	for _, p := range u.Pools.Pools() {
+		for _, w := range p.Wallets() {
+			set[w] = true
+		}
+	}
+	wallets := make([]string, 0, len(set))
+	for w := range set {
+		wallets = append(wallets, w)
+	}
+	sort.Strings(wallets)
+	return wallets
+}
+
+// BenchmarkProbeThroughput crawls every universe wallet across all 18
+// directory pools with a full worker pool, measuring end-to-end probe
+// throughput (enqueue -> rate check -> 18 fetches -> activity build ->
+// cache insert).
+func BenchmarkProbeThroughput(b *testing.B) {
+	u := universeOfSize(b, 1000)
+	wallets := poolWallets(u)
+	if len(wallets) == 0 {
+		b.Fatal("universe has no pool wallets")
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := probe.New(probe.Config{
+			Source:  probe.NewDirectorySource(u.Pools, u.Config.QueryTime),
+			Workers: runtime.GOMAXPROCS(0),
+		})
+		s.Start(ctx)
+		for _, w := range wallets {
+			s.Enqueue(w)
+		}
+		if err := s.WaitConverged(ctx); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(wallets)*b.N)/b.Elapsed().Seconds(), "wallets/sec")
+}
+
+// BenchmarkProbeCacheReads measures the converged-cache read path
+// (Scheduler.CollectWallet) that every live campaign-pricing pass runs over,
+// and reports the observed hit rate.
+func BenchmarkProbeCacheReads(b *testing.B) {
+	u := universeOfSize(b, 1000)
+	wallets := poolWallets(u)
+	ctx := context.Background()
+	s := probe.New(probe.Config{
+		Source:  probe.NewDirectorySource(u.Pools, u.Config.QueryTime),
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	s.Start(ctx)
+	defer s.Close()
+	for _, w := range wallets {
+		s.Enqueue(w)
+	}
+	if err := s.WaitConverged(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CollectWallet(wallets[i%len(wallets)])
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+	if st.CacheHits+st.CacheMisses > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit_rate")
+	}
+}

@@ -24,6 +24,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +50,7 @@ func main() {
 		chunk   = flag.Int("chunk", 250, "samples per bulk NDJSON request")
 		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		table8  = flag.String("table8", "", "path to paperrepro's table8_top_campaigns.txt to diff against (optional)")
+		finish  = flag.Bool("finish", false, "POST /api/v1/finish after the campaign diff and require /api/v1/results to be byte-identical to the batch summary")
 	)
 	flag.Parse()
 
@@ -110,6 +112,31 @@ func main() {
 		select {
 		case <-ctx.Done():
 			log.Fatalf("timed out waiting for absorption (analyzed=%d)", st.Analyzed)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// If the daemon runs a wallet prober (streamd does by default), wait for
+	// the crawl to converge: live campaign pricing reads the probe cache,
+	// which matches the batch figures only once every sighted wallet has been
+	// probed.
+	for {
+		ps, err := cl.ProbeStats(ctx)
+		if err != nil {
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.Code == apiv1.CodeProbeDisabled {
+				log.Printf("daemon runs without a prober; skipping convergence wait")
+				break
+			}
+			log.Fatalf("probe stats: %v", err)
+		}
+		if ps.Converged {
+			log.Printf("probe converged: %d wallets cached, %d probes completed", ps.CacheSize, ps.Completed)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("timed out waiting for probe convergence (queue=%d in_flight=%d)", ps.QueueDepth, ps.InFlight)
 		case <-time.After(100 * time.Millisecond):
 		}
 	}
@@ -179,6 +206,30 @@ func main() {
 				*table8, gotTable, wantTable)
 		}
 		log.Printf("OK: Table VIII re-rendered from the API byte-identical to %s", *table8)
+	}
+
+	// Seal the run through the API and require the final summary to be
+	// byte-identical to the batch pipeline's.
+	if *finish {
+		got, err := cl.Finish(ctx)
+		if err != nil {
+			log.Fatalf("finish: %v", err)
+		}
+		want := api.ResultsToWire(batch)
+		gotJSON, _ := json.Marshal(got)
+		wantJSON, _ := json.Marshal(want)
+		if string(gotJSON) != string(wantJSON) {
+			log.Fatalf("/api/v1/finish results differ from batch:\nAPI:   %s\nbatch: %s", gotJSON, wantJSON)
+		}
+		res, err := cl.Results(ctx)
+		if err != nil {
+			log.Fatalf("results after finish: %v", err)
+		}
+		resJSON, _ := json.Marshal(res)
+		if string(resJSON) != string(wantJSON) {
+			log.Fatalf("/api/v1/results differs from batch:\nAPI:   %s\nbatch: %s", resJSON, wantJSON)
+		}
+		log.Printf("OK: final results byte-identical to the batch summary (%s)", wantJSON)
 	}
 
 	fmt.Println("api-smoke: all checks passed")

@@ -1,11 +1,16 @@
 // Command poolserver runs one simulated Monero mining pool: a Stratum TCP
 // listener miners can connect to and the public HTTP statistics API the
 // profit analysis queries. Useful for interactive experimentation with the
-// Stratum client, the mining proxy and the wallet-stats collector.
+// Stratum client, the mining proxy and the wallet-stats collector — and, with
+// -ledger, as a live probing target: loading a per-pool ledger snapshot
+// written by cmd/ecosimgen makes the server answer wallet-stats queries with
+// the deterministic universe's figures, so a streamd probing it over HTTP
+// (-probe-http) reproduces the batch pipeline's results exactly.
 //
 // Usage:
 //
-//	poolserver -name minexmr -stratum 127.0.0.1:4444 -http 127.0.0.1:8080
+//	poolserver -name minexmr -stratum 127.0.0.1:4444 -http 127.0.0.1:8080 \
+//	           -ledger ecosystem-out/pools/minexmr.json
 package main
 
 import (
@@ -27,13 +32,26 @@ func main() {
 		httpAddr    = flag.String("http", "127.0.0.1:8080", "HTTP stats API listen address")
 		opaque      = flag.Bool("opaque", false, "run as an opaque pool (no public stats)")
 		banAfterIPs = flag.Int("ban-after-ips", 1000, "ban wallets seen from more than this many IPs (0 disables)")
+		ledger      = flag.String("ledger", "", "load a wallet ledger snapshot (cmd/ecosimgen pools/<name>.json) before serving")
+		historic    = flag.Bool("historic-hashrate", false, "expose the historic per-wallet hashrate series (minexmr in the paper)")
 	)
 	flag.Parse()
 
 	policy := pool.DefaultPolicy()
 	policy.Transparent = !*opaque
 	policy.BanIPThreshold = *banAfterIPs
+	policy.ProvidesHistoricHashrate = *historic
 	p := pool.New(*name, []string{*name + ".example"}, model.CurrencyMonero, policy, nil)
+	if *ledger != "" {
+		raw, err := os.ReadFile(*ledger)
+		if err != nil {
+			log.Fatalf("read ledger: %v", err)
+		}
+		if err := p.UnmarshalSnapshot(raw); err != nil {
+			log.Fatalf("load ledger %s: %v", *ledger, err)
+		}
+		log.Printf("loaded ledger %s: %d wallets", *ledger, len(p.Wallets()))
+	}
 	srv := pool.NewServer(p)
 
 	sAddr, err := srv.ListenStratum(*stratumAddr)

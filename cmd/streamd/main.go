@@ -13,6 +13,13 @@
 // stopped, even after a SIGKILL. A resumed run's final results are identical
 // to an uninterrupted one.
 //
+// Wallet statistics are collected by the asynchronous probe crawler
+// (internal/probe): first sightings enqueue probes, live profit is served
+// from the probe cache, and the cache rides in checkpoints. By default the
+// crawler queries the in-process pool directory; with -probe-http it crawls
+// live poolserver statistics APIs over the network, rate-limited per pool
+// (-probe-rate) and refreshed by TTL (-probe-interval).
+//
 // Endpoints (see internal/api for the full reference; legacy unversioned
 // aliases /stats /campaigns /results /checkpoint /healthz stay up):
 //
@@ -23,6 +30,9 @@
 //	POST /api/v1/checkpoint     persist a snapshot now (409 without -data-dir)
 //	POST /api/v1/samples        remote ingestion (JSON or bulk NDJSON)
 //	GET  /api/v1/events         live campaign-update stream (NDJSON/SSE)
+//	GET  /api/v1/probe          wallet-probe crawl telemetry
+//	POST /api/v1/probe/refresh  force re-probes (wallet= / scope=stale|all)
+//	POST /api/v1/finish         drain + seal final results on demand
 //	GET  /api/v1/healthz        liveness probe
 //
 // Usage:
@@ -57,6 +67,7 @@ import (
 	"cryptomining/internal/ecosim"
 	"cryptomining/internal/model"
 	"cryptomining/internal/persist"
+	"cryptomining/internal/probe"
 	"cryptomining/internal/stream"
 	"cryptomining/pkg/apiv1"
 )
@@ -74,6 +85,10 @@ func main() {
 		ckptEvery      = flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval with -data-dir (0 disables periodic checkpoints)")
 		noFeed         = flag.Bool("no-feed", false, "skip the local feed replay; ingest only via POST /api/v1/samples")
 		exitAfterDrain = flag.Bool("exit-after-drain", false, "terminate once the replay has drained (ignored with -no-feed)")
+		probeHTTP      = flag.String("probe-http", "", "probe live pool servers over HTTP: path to a JSON file mapping pool name -> base URL (default: probe the in-process directory)")
+		probeInterval  = flag.Duration("probe-interval", 0, "wallet-stats TTL: cache entries older than this are re-probed (0 = probe once)")
+		probeRate      = flag.Float64("probe-rate", 0, "per-pool probe rate limit in requests/sec (0 = unlimited)")
+		probeWorkers   = flag.Int("probe-workers", 0, "concurrent probe workers (0 = default)")
 	)
 	flag.Parse()
 
@@ -90,6 +105,29 @@ func main() {
 	streamCfg := core.NewFromUniverse(u).StreamConfig()
 	streamCfg.Shards = *shards // 0 = GOMAXPROCS default
 	streamCfg.QueueDepth = *queue
+
+	// All pool queries go through the asynchronous probe crawler: the
+	// in-process directory by default (deterministic), or live pool servers
+	// over HTTP with -probe-http.
+	var src probe.Source
+	if *probeHTTP != "" {
+		endpoints, err := loadProbeEndpoints(*probeHTTP)
+		if err != nil {
+			log.Fatalf("load %s: %v", *probeHTTP, err)
+		}
+		src = probe.NewHTTPSource(endpoints, nil)
+		log.Printf("probing %d pools over HTTP (%s)", len(endpoints), *probeHTTP)
+	} else {
+		src = probe.NewDirectorySource(streamCfg.Pools, streamCfg.QueryTime)
+	}
+	prober := probe.New(probe.Config{
+		Source:      src,
+		Rates:       streamCfg.Rates,
+		Workers:     *probeWorkers,
+		TTL:         *probeInterval,
+		RatePerPool: *probeRate,
+	})
+	streamCfg.Prober = prober
 	eng := stream.New(streamCfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -134,6 +172,11 @@ func main() {
 	} else {
 		eng.Start(ctx)
 	}
+	// The crawler starts after a potential resume, so a restored probe cache
+	// is in place before workers run; probes enqueued during the WAL replay
+	// simply queue up.
+	prober.Start(ctx)
+	defer prober.Close()
 
 	submit := func(ctx context.Context, sample *model.Sample) error {
 		if st != nil {
@@ -146,16 +189,57 @@ func main() {
 		mu    sync.Mutex
 		final *stream.Results
 	)
+	// finish drains the engine (waiting for probe convergence) and seals the
+	// final results, exactly once — shared by the feed goroutine and POST
+	// /api/v1/finish. It deliberately runs on the daemon context, not a
+	// request context, so an impatient API client cannot poison the one
+	// finalize this process gets.
+	var (
+		finishOnce sync.Once
+		finishErr  error
+	)
+	finish := func() (*stream.Results, error) {
+		finishOnce.Do(func() {
+			res, err := eng.Finish(ctx)
+			if err != nil {
+				finishErr = err
+				return
+			}
+			if st != nil {
+				// Final checkpoint: a restart after completion resumes straight
+				// into the finished state instead of re-analyzing the tail.
+				if _, err := st.Checkpoint(); err != nil {
+					log.Printf("final checkpoint: %v", err)
+				}
+			}
+			mu.Lock()
+			final = res
+			mu.Unlock()
+		})
+		if finishErr != nil {
+			return nil, finishErr
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return final, nil
+	}
 
 	apiCfg := api.Config{
 		Engine:      eng,
 		Submit:      submit,
 		DefaultTopN: *topN,
+		Probe:       prober,
 		Results: func() *stream.Results {
 			mu.Lock()
 			defer mu.Unlock()
 			return final
 		},
+	}
+	if *noFeed {
+		// Only a pure service run can be sealed on demand; in feed mode a
+		// forced drain would abort the replay mid-flight and freeze partial
+		// results (the feed goroutine finishes the run itself).
+		apiCfg.Finish = func(context.Context) (*stream.Results, error) { return finish() }
 	}
 	if st != nil {
 		apiCfg.Checkpoint = func() (apiv1.Checkpoint, error) {
@@ -184,7 +268,7 @@ func main() {
 			log.Fatalf("http serve: %v", err)
 		}
 	}()
-	log.Printf("service API on http://%s (/api/v1/{stats,campaigns,results,checkpoint,samples,events,healthz} + legacy aliases)", ln.Addr())
+	log.Printf("service API on http://%s (/api/v1/{stats,campaigns,results,checkpoint,samples,events,probe,finish,healthz} + legacy aliases)", ln.Addr())
 
 	drained := make(chan struct{})
 	if *noFeed {
@@ -197,21 +281,11 @@ func main() {
 				log.Printf("replay aborted: %v", err)
 				return
 			}
-			res, err := eng.Finish(ctx)
+			res, err := finish()
 			if err != nil {
 				log.Printf("finish: %v", err)
 				return
 			}
-			if st != nil {
-				// Final checkpoint: a restart after completion resumes straight
-				// into the finished state instead of re-analyzing the tail.
-				if _, err := st.Checkpoint(); err != nil {
-					log.Printf("final checkpoint: %v", err)
-				}
-			}
-			mu.Lock()
-			final = res
-			mu.Unlock()
 			es := eng.Stats()
 			log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
 				es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
@@ -262,6 +336,23 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
+}
+
+// loadProbeEndpoints parses a -probe-http file: a JSON object mapping pool
+// names to their statistics-API base URLs.
+func loadProbeEndpoints(path string) (map[string]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var endpoints map[string]string
+	if err := json.Unmarshal(raw, &endpoints); err != nil {
+		return nil, fmt.Errorf("parse pool endpoints: %w", err)
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("no pool endpoints defined")
+	}
+	return endpoints, nil
 }
 
 // feedOrder is the seed-deterministic order the feed replays the corpus in.

@@ -14,6 +14,13 @@
 //	                            NDJSON (one sample per line)
 //	GET  /api/v1/events         live campaign-update event stream
 //	                            (NDJSON, or SSE for text/event-stream)
+//	GET  /api/v1/probe          wallet-probe crawl snapshot: queue depth,
+//	                            per-pool rate/error counters, cache ages
+//	                            (409 when the daemon runs without a prober)
+//	POST /api/v1/probe/refresh  force re-probe: ?wallet=<id>, ?scope=stale
+//	                            or ?scope=all
+//	POST /api/v1/finish         drain the engine and seal final results
+//	                            (409 when the daemon cannot force a drain)
 //	GET  /api/v1/healthz        liveness probe
 //
 // Every response body is a typed pkg/apiv1 struct; every non-2xx response is
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"cryptomining/internal/model"
+	"cryptomining/internal/probe"
 	"cryptomining/internal/stream"
 	"cryptomining/pkg/apiv1"
 )
@@ -52,6 +60,15 @@ type Config struct {
 	// Results returns the final results, or nil while the run is still in
 	// flight (the results endpoints then answer 503 with Retry-After).
 	Results func() *stream.Results
+	// Finish drains the engine and finalizes the run on demand (POST
+	// /api/v1/finish); nil answers 409 finish_unavailable. Daemons running in
+	// pure service mode (-no-feed) wire this so clients can seal a run and
+	// read /api/v1/results.
+	Finish func(context.Context) (*stream.Results, error)
+	// Probe serves the wallet-probe observability endpoints (GET
+	// /api/v1/probe, POST /api/v1/probe/refresh); nil answers 409
+	// probe_disabled.
+	Probe *probe.Scheduler
 	// DefaultTopN is the legacy /campaigns default page size (default 10).
 	DefaultTopN int
 	// RequestTimeout bounds each individual sample submission into the
@@ -116,6 +133,9 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/api/v1/samples", s.route(s.handleSamples, http.MethodPost))
 	mux.Handle("/api/v1/healthz", s.route(s.handleHealthV1, http.MethodGet))
 	mux.Handle("/api/v1/events", s.route(s.handleEvents, http.MethodGet))
+	mux.Handle("/api/v1/probe", s.route(s.handleProbeStats, http.MethodGet))
+	mux.Handle("/api/v1/probe/refresh", s.route(s.handleProbeRefresh, http.MethodPost))
+	mux.Handle("/api/v1/finish", s.route(s.handleFinish, http.MethodPost))
 
 	// Legacy aliases.
 	mux.Handle("/stats", s.route(s.handleStats, http.MethodGet))

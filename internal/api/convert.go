@@ -132,6 +132,9 @@ func EventToWire(ev stream.Event) apiv1.Event {
 		Pool:       ev.Pool,
 		Campaigns:  ev.Campaigns,
 		Kept:       ev.Kept,
+		XMR:        ev.XMR,
+		USD:        ev.USD,
+		Error:      ev.Error,
 	}
 }
 

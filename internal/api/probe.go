@@ -1,0 +1,97 @@
+package api
+
+import (
+	"net/http"
+
+	"cryptomining/internal/probe"
+	"cryptomining/pkg/apiv1"
+)
+
+func (s *Server) handleProbeStats(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Probe == nil {
+		s.error(w, http.StatusConflict, apiv1.CodeProbeDisabled,
+			"wallet probing disabled (daemon runs without a prober)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ProbeStatsToWire(s.cfg.Probe.Stats()))
+}
+
+// handleProbeRefresh forces re-probes. Exactly one selector is required:
+// ?wallet=<id> re-probes one wallet (fresh or not), ?scope=stale re-enqueues
+// every TTL-expired or errored cache entry, ?scope=all the whole cache.
+func (s *Server) handleProbeRefresh(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Probe == nil {
+		s.error(w, http.StatusConflict, apiv1.CodeProbeDisabled,
+			"wallet probing disabled (daemon runs without a prober)")
+		return
+	}
+	wallet := r.URL.Query().Get("wallet")
+	scope := r.URL.Query().Get("scope")
+	var requeued int
+	switch {
+	case wallet != "" && scope != "":
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+			"pass either wallet=<id> or scope=stale|all, not both")
+		return
+	case wallet != "":
+		if s.cfg.Probe.Refresh(wallet) {
+			requeued = 1
+		}
+	case scope == "stale":
+		requeued = s.cfg.Probe.RefreshStale()
+	case scope == "all":
+		requeued = s.cfg.Probe.RefreshAll()
+	default:
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+			"missing selector: wallet=<id>, scope=stale or scope=all")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, apiv1.ProbeRefresh{Requeued: requeued})
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Finish == nil {
+		s.error(w, http.StatusConflict, apiv1.CodeFinishUnavailable,
+			"this daemon cannot force a drain")
+		return
+	}
+	res, err := s.cfg.Finish(r.Context())
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ResultsToWire(res))
+}
+
+// ProbeStatsToWire converts the scheduler's telemetry to the wire shape.
+func ProbeStatsToWire(st probe.Stats) apiv1.ProbeStats {
+	out := apiv1.ProbeStats{
+		QueueDepth:  st.QueueDepth,
+		InFlight:    st.InFlight,
+		Converged:   st.Converged,
+		CacheSize:   st.CacheSize,
+		CacheErrors: st.CacheErrors,
+		Completed:   st.Completed,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+	}
+	for _, p := range st.Pools {
+		out.Pools = append(out.Pools, apiv1.ProbePoolStats{
+			Pool:           p.Pool,
+			Requests:       p.Requests,
+			OK:             p.OK,
+			UnknownWallet:  p.UnknownWallet,
+			OpaquePool:     p.OpaquePool,
+			Retries:        p.Retries,
+			Failed:         p.Failed,
+			ThrottledNanos: int64(p.Throttled),
+		})
+	}
+	for _, a := range st.Ages {
+		out.CacheAges = append(out.CacheAges, apiv1.ProbeAgeBucket{
+			UpToSeconds: int64(a.UpTo.Seconds()),
+			Count:       a.Count,
+		})
+	}
+	return out
+}

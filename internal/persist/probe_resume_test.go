@@ -1,0 +1,182 @@
+package persist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/persist"
+	"cryptomining/internal/probe"
+	"cryptomining/internal/stream"
+)
+
+// waitAbsorbed polls until the collector has absorbed n submissions and the
+// dataflow is empty.
+func waitAbsorbed(t *testing.T, eng *stream.Engine, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := eng.Stats()
+		if st.Analyzed+st.Duplicates >= n && st.Backpressure == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dataflow never absorbed %d samples (analyzed=%d dup=%d bp=%d)",
+				n, st.Analyzed, st.Duplicates, st.Backpressure)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProbeCacheCheckpointRoundTrip is the probe-persistence acceptance: the
+// wallet-probe cache rides in checkpoints, and a restart mid-convergence
+// re-probes only the wallets whose TTL has expired — never the whole set —
+// then still finishes with results bit-identical to an uninterrupted run.
+//
+// The timeline (driven by fake clocks so TTL arithmetic is exact):
+//
+//	t0        wave 1: first half of the feed ingested, probes converge
+//	t0+40m    wave 2: rest of the feed ingested, probes converge; checkpoint;
+//	          process "crashes" (no Finish)
+//	t0+70m    restart with TTL=1h: wave-1 entries are 70m old (stale),
+//	          wave-2 entries 30m old (fresh) — exactly wave 1 re-probes
+func TestProbeCacheCheckpointRoundTrip(t *testing.T) {
+	u := ecosim.Generate(ecosim.SmallConfig().Scale(0.4))
+	const feedSeed = 11
+	hashes := feedOrder(u, feedSeed)
+	clean := runClean(t, u, hashes, 2)
+
+	dir := t.TempDir()
+	t0 := time.Date(2019, 4, 30, 0, 0, 0, 0, time.UTC)
+	ctx := context.Background()
+
+	// --- first process: two ingestion waves, then a crash after checkpoint.
+	clk1 := probe.NewFakeClock(t0)
+	cfg1 := streamCfg(u, 2)
+	prober1 := probe.New(probe.Config{
+		Source:  probe.NewDirectorySource(cfg1.Pools, cfg1.QueryTime),
+		Workers: 4,
+		TTL:     time.Hour,
+		Clock:   clk1,
+	})
+	cfg1.Prober = prober1
+	eng1 := stream.New(cfg1)
+	st1, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.Resume(ctx, eng1); err != nil {
+		t.Fatal(err)
+	}
+	prober1.Start(ctx)
+
+	submit := func(from, to int) {
+		for _, h := range hashes[from:to] {
+			s, _ := u.Corpus.Get(h)
+			if err := st1.Submit(ctx, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	half := len(hashes) / 2
+	submit(0, half)
+	waitAbsorbed(t, eng1, int64(half))
+	if err := prober1.WaitConverged(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wave1 := map[string]bool{}
+	for _, e := range prober1.ExportCache().Entries {
+		wave1[e.Wallet] = true
+	}
+	if len(wave1) == 0 {
+		t.Fatal("wave 1 probed no wallets; fixture too small")
+	}
+
+	clk1.Advance(40 * time.Minute)
+	submit(half, len(hashes))
+	waitAbsorbed(t, eng1, int64(len(hashes)))
+	if err := prober1.WaitConverged(ctx); err != nil {
+		t.Fatal(err)
+	}
+	allEntries := prober1.ExportCache().Entries
+	wave2 := map[string]int64{}
+	for _, e := range allEntries {
+		if !wave1[e.Wallet] {
+			wave2[e.Wallet] = e.FetchedAtUnixNano
+		}
+	}
+	if len(wave2) == 0 {
+		t.Fatal("wave 2 probed no new wallets; pick a different feed seed")
+	}
+
+	if _, err := st1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: close the store, abandon the engine without Finish.
+	prober1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- second process, 30 minutes after the second wave.
+	clk2 := probe.NewFakeClock(t0.Add(70 * time.Minute))
+	cfg2 := streamCfg(u, 2)
+	prober2 := probe.New(probe.Config{
+		Source:  probe.NewDirectorySource(cfg2.Pools, cfg2.QueryTime),
+		Workers: 4,
+		TTL:     time.Hour,
+		Clock:   clk2,
+	})
+	cfg2.Prober = prober2
+	eng2 := stream.New(cfg2)
+	st2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	info, err := st2.Resume(ctx, eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Resumed {
+		t.Fatal("second process did not resume from the checkpoint")
+	}
+	prober2.Start(ctx)
+	defer prober2.Close()
+	if err := prober2.WaitConverged(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly the TTL-expired wave re-probed: every wave-1 wallet once,
+	// nothing else.
+	if got, want := prober2.Stats().Completed, uint64(len(wave1)); got != want {
+		t.Fatalf("restart re-probed %d wallets, want %d (the TTL-expired wave)", got, want)
+	}
+	for w, fetched := range wave2 {
+		ent, ok := prober2.Peek(w)
+		if !ok {
+			t.Fatalf("fresh wallet %s missing after restore", w)
+		}
+		if ent.FetchedAt.UnixNano() != fetched {
+			t.Fatalf("fresh wallet %s was re-probed (fetchedAt %v -> %v)", w, fetched, ent.FetchedAt.UnixNano())
+		}
+	}
+	for w := range wave1 {
+		ent, ok := prober2.Peek(w)
+		if !ok {
+			t.Fatalf("stale wallet %s missing after restore", w)
+		}
+		if got := ent.FetchedAt; !got.Equal(clk2.Now()) {
+			t.Fatalf("stale wallet %s not re-probed (fetchedAt %v)", w, got)
+		}
+	}
+
+	// And the resumed run still finishes bit-identical to an uninterrupted
+	// one.
+	res, err := eng2.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, res, clean)
+}

@@ -193,8 +193,8 @@ func remoteIP(conn net.Conn) string {
 //	GET /api/pool                    -> pool summary JSON
 func (s *Server) ListenHTTP(addr string) (string, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/stats", s.handleStats)
-	mux.HandleFunc("/api/pool", s.handlePoolInfo)
+	mux.HandleFunc("/api/stats", getOnly(s.handleStats))
+	mux.HandleFunc("/api/pool", getOnly(s.handlePoolInfo))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -210,6 +210,20 @@ func (s *Server) ListenHTTP(addr string) (string, error) {
 		_ = srv.Serve(ln)
 	}()
 	return ln.Addr().String(), nil
+}
+
+// getOnly guards a read-only endpoint: anything but GET (or HEAD, which
+// rides along wherever GET is allowed) answers 405 with an Allow header,
+// matching the internal/api method-guard convention.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -284,37 +298,31 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// QueryStatsHTTP is the client side of the stats API: it fetches WalletStats
-// for an address from a pool's HTTP endpoint, exactly as the profit-analysis
-// stage queries real pools.
+// QueryStatsHTTP is a convenience wrapper over StatsClient, kept for callers
+// that predate it: it fetches the summary WalletStats fields for an address
+// from a pool's HTTP endpoint. New code (and anything needing the payment
+// history) should use StatsClient.WalletStats directly.
 func QueryStatsHTTP(client *http.Client, baseURL, address string) (*WalletStatsResponse, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	url := strings.TrimRight(baseURL, "/") + "/api/stats?address=" + address
-	resp, err := client.Get(url)
+	stats, err := NewStatsClient(baseURL, client).WalletStats(context.Background(), address)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return nil, ErrUnknownUser
-	case http.StatusForbidden:
-		return nil, ErrOpaquePool
-	default:
-		return nil, fmt.Errorf("pool: unexpected HTTP status %d", resp.StatusCode)
-	}
-	var stats WalletStatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return nil, err
-	}
-	return &stats, nil
+	return &WalletStatsResponse{
+		Pool:        stats.Pool,
+		User:        stats.User,
+		Hashes:      stats.Hashes,
+		Hashrate:    stats.Hashrate,
+		LastShare:   stats.LastShare,
+		Balance:     stats.Balance,
+		TotalPaid:   stats.TotalPaid,
+		NumPayments: stats.NumPayments,
+		Banned:      stats.Banned,
+	}, nil
 }
 
-// WalletStatsResponse is the wire form of model.WalletStats (identical fields;
-// declared separately so the HTTP contract is explicit and stable).
+// WalletStatsResponse is the summary wire form of model.WalletStats
+// (identical field names; declared separately so the historical QueryStatsHTTP
+// contract stays explicit and stable).
 type WalletStatsResponse struct {
 	Pool        string    `json:"Pool"`
 	User        string    `json:"User"`

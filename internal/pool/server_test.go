@@ -1,8 +1,12 @@
 package pool
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -181,5 +185,109 @@ func TestServerCloseIdempotent(t *testing.T) {
 func TestQueryStatsHTTPBadEndpoint(t *testing.T) {
 	if _, err := QueryStatsHTTP(nil, "http://127.0.0.1:1", "4W"); err == nil {
 		t.Error("querying a closed port should error")
+	}
+}
+
+// TestServerMethodGuards: the public API endpoints answer 405 with an Allow
+// header for anything but GET/HEAD, matching the internal/api convention.
+func TestServerMethodGuards(t *testing.T) {
+	_, _, httpAddr := newTestServer(t, DefaultPolicy())
+	for _, path := range []string{"/api/stats?address=x", "/api/pool"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodPatch} {
+			req, err := http.NewRequest(method, "http://"+httpAddr+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", method, path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s -> %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+				t.Fatalf("%s %s Allow = %q, want \"GET, HEAD\"", method, path, allow)
+			}
+		}
+		// HEAD rides along with GET.
+		resp, err := http.Head("http://" + httpAddr + path)
+		if err != nil {
+			t.Fatalf("HEAD %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusMethodNotAllowed {
+			t.Fatalf("HEAD %s rejected with 405", path)
+		}
+	}
+}
+
+// TestStatsClientFullRoundTrip: the reusable client decodes the complete
+// wallet statistics — payment history included — losslessly, which the
+// HTTP probe source's profit parity rests on.
+func TestStatsClientFullRoundTrip(t *testing.T) {
+	s, _, httpAddr := newTestServer(t, DefaultPolicy())
+	wallet := "4CLIENTROUNDTRIP"
+	from := date(2017, 3, 1)
+	to := date(2017, 5, 1)
+	s.Pool.SimulateMining(wallet, 1, 50_000, from, to, 24*time.Hour, nil)
+
+	queriedAt := date(2017, 6, 1)
+	want, err := s.Pool.Stats(wallet, queriedAt)
+	if err != nil {
+		t.Fatalf("direct stats: %v", err)
+	}
+	if len(want.Payments) == 0 {
+		t.Fatal("fixture produced no payments; the round-trip test needs some")
+	}
+	got, err := NewStatsClient("http://"+httpAddr, nil).WalletStats(context.Background(), wallet)
+	if err != nil {
+		t.Fatalf("client stats: %v", err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("stats differ after HTTP round trip:\ngot:  %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestStatsClientErrorPaths covers the client-side classification: 403
+// opaque, 404 unknown, connection refused, non-JSON body.
+func TestStatsClientErrorPaths(t *testing.T) {
+	ctx := context.Background()
+
+	opaquePolicy := DefaultPolicy()
+	opaquePolicy.Transparent = false
+
+	// Opaque pool -> ErrOpaquePool.
+	{
+		_, _, httpAddr := newTestServer(t, opaquePolicy)
+		if _, err := NewStatsClient("http://"+httpAddr, nil).WalletStats(ctx, "w"); !errors.Is(err, ErrOpaquePool) {
+			t.Fatalf("opaque pool error = %v, want ErrOpaquePool", err)
+		}
+	}
+	// Unknown wallet -> ErrUnknownUser.
+	{
+		_, _, httpAddr := newTestServer(t, DefaultPolicy())
+		if _, err := NewStatsClient("http://"+httpAddr, nil).WalletStats(ctx, "never-seen"); !errors.Is(err, ErrUnknownUser) {
+			t.Fatalf("unknown wallet error = %v, want ErrUnknownUser", err)
+		}
+	}
+	// Connection refused -> transport error (neither terminal class).
+	{
+		_, err := NewStatsClient("http://127.0.0.1:1", nil).WalletStats(ctx, "w")
+		if err == nil || errors.Is(err, ErrUnknownUser) || errors.Is(err, ErrOpaquePool) {
+			t.Fatalf("connection refused error = %v, want a transport error", err)
+		}
+	}
+	// Unexpected status -> explicit error.
+	{
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusTeapot)
+		}))
+		defer srv.Close()
+		if _, err := NewStatsClient(srv.URL, nil).WalletStats(ctx, "w"); err == nil || !strings.Contains(err.Error(), "418") {
+			t.Fatalf("unexpected-status error = %v, want mention of 418", err)
+		}
 	}
 }

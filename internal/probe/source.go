@@ -1,0 +1,151 @@
+// Package probe is the asynchronous wallet-statistics crawler of the
+// measurement system. The paper's profit methodology (§III-D) rests on
+// querying remote pool APIs for per-wallet statistics — a slow, rate-limited,
+// failure-prone measurement loop that the streaming engine previously
+// shortcut by reading the in-process pool directory synchronously under the
+// collector lock. This package reproduces the real loop: a Scheduler runs a
+// bounded worker pool over a priority queue of wallets (never-probed first,
+// then stalest by TTL), enforces per-pool token-bucket rate limits, retries
+// transient failures with exponential backoff, classifies terminal outcomes
+// (unknown wallet, opaque pool, pool unreachable), and maintains a per-wallet
+// activity cache that the engine serves live profit from.
+//
+// Pool access is pluggable behind Source: DirectorySource queries the
+// in-process pool.Directory (deterministic — with a fully converged cache the
+// engine's results stay bit-identical to the batch pipeline), HTTPSource
+// queries the public statistics API of live pool.Server instances over the
+// network, exactly as the paper's crawler hit real pools. All timing flows
+// through an injectable Clock, so rate limits, backoff and TTL refresh are
+// testable without wall-clock sleeps.
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
+)
+
+// Source supplies raw per-pool wallet statistics to the scheduler. Both the
+// pool list and Fetch must be safe for concurrent use.
+type Source interface {
+	// Pools returns the names of the pools this source queries, sorted. The
+	// scheduler probes a wallet against every pool in this order — keeping
+	// the order stable is what keeps float summation over per-pool activity
+	// deterministic.
+	Pools() []string
+	// Fetch returns one wallet's public statistics at one pool. Expected
+	// failures are pool.ErrUnknownUser (no activity at this pool) and
+	// pool.ErrOpaquePool (the pool publishes no statistics); anything else is
+	// treated as transient and retried.
+	Fetch(ctx context.Context, poolName, wallet string) (model.WalletStats, error)
+}
+
+// ErrorClass buckets probe failures the way the paper's crawler had to:
+// wallets unknown to a pool and opaque pools are terminal, ordinary facts of
+// the measurement; unreachable pools are transient infrastructure faults.
+type ErrorClass string
+
+const (
+	// ErrorNone marks a successful fetch.
+	ErrorNone ErrorClass = ""
+	// ErrorUnknownWallet is the 404 class: the pool has never seen the
+	// wallet. Terminal, and not an error for the probe as a whole — most
+	// wallets mine at a few pools only.
+	ErrorUnknownWallet ErrorClass = "unknown_wallet"
+	// ErrorOpaquePool is the 403 class: the pool does not publish per-wallet
+	// statistics (minergate in the paper). Terminal.
+	ErrorOpaquePool ErrorClass = "opaque_pool"
+	// ErrorUnreachable covers transport failures, 5xx responses and other
+	// unexpected conditions. Transient: retried with backoff, and recorded on
+	// the cache entry once retries are exhausted.
+	ErrorUnreachable ErrorClass = "unreachable"
+)
+
+// Classify maps a Fetch error to its class.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ErrorNone
+	case errors.Is(err, pool.ErrUnknownUser):
+		return ErrorUnknownWallet
+	case errors.Is(err, pool.ErrOpaquePool):
+		return ErrorOpaquePool
+	default:
+		return ErrorUnreachable
+	}
+}
+
+// DirectorySource probes the in-process pool directory — the deterministic
+// default. It queries every known pool (opaque ones included, so the 403
+// classification is exercised exactly as over the network); since the
+// underlying ledgers and the query time are fixed, a converged cache holds
+// precisely what profit.Collector.CollectWallet would have returned.
+type DirectorySource struct {
+	dir       *pool.Directory
+	queryTime time.Time
+	names     []string
+}
+
+// NewDirectorySource wraps a pool directory, pinning the measurement query
+// time recorded on fetched statistics.
+func NewDirectorySource(dir *pool.Directory, queryTime time.Time) *DirectorySource {
+	return &DirectorySource{dir: dir, queryTime: queryTime, names: dir.Names()}
+}
+
+// Pools returns every directory pool, sorted by name.
+func (s *DirectorySource) Pools() []string { return s.names }
+
+// Fetch queries one pool's ledger directly.
+func (s *DirectorySource) Fetch(_ context.Context, poolName, wallet string) (model.WalletStats, error) {
+	p, ok := s.dir.Get(poolName)
+	if !ok {
+		return model.WalletStats{}, fmt.Errorf("probe: unknown pool %q", poolName)
+	}
+	return p.Stats(wallet, s.queryTime)
+}
+
+// HTTPSource probes live pool servers over their public statistics API, one
+// endpoint per pool (the `GET /api/stats` surface of pool.Server). The full
+// wallet statistics — payment history included — round-trip losslessly, so a
+// converged HTTP probe against servers holding the same ledgers reproduces
+// the in-process figures bit for bit.
+type HTTPSource struct {
+	clients map[string]*pool.StatsClient
+	names   []string
+}
+
+// NewHTTPSource builds a source from a pool-name -> base-URL map (e.g.
+// {"minexmr": "http://127.0.0.1:18400"}). A nil http.Client gets a default
+// with a 10-second per-request timeout, so one hung pool cannot stall a
+// worker forever.
+func NewHTTPSource(endpoints map[string]string, hc *http.Client) *HTTPSource {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	s := &HTTPSource{clients: make(map[string]*pool.StatsClient, len(endpoints))}
+	for name, base := range endpoints {
+		s.clients[name] = pool.NewStatsClient(strings.TrimRight(base, "/"), hc)
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	return s
+}
+
+// Pools returns the configured pool names, sorted.
+func (s *HTTPSource) Pools() []string { return s.names }
+
+// Fetch queries one pool's HTTP statistics endpoint.
+func (s *HTTPSource) Fetch(ctx context.Context, poolName, wallet string) (model.WalletStats, error) {
+	c, ok := s.clients[poolName]
+	if !ok {
+		return model.WalletStats{}, fmt.Errorf("probe: unknown pool %q", poolName)
+	}
+	return c.WalletStats(ctx, wallet)
+}

@@ -1,0 +1,182 @@
+package probe_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/pool"
+	"cryptomining/internal/probe"
+	"cryptomining/internal/profit"
+)
+
+// universeWallets returns every wallet with a ledger at any pool of the
+// universe, sorted (capped to keep the test quick).
+func universeWallets(u *ecosim.Universe, max int) []string {
+	set := map[string]bool{}
+	for _, p := range u.Pools.Pools() {
+		for _, w := range p.Wallets() {
+			set[w] = true
+		}
+	}
+	wallets := make([]string, 0, len(set))
+	for w := range set {
+		wallets = append(wallets, w)
+	}
+	sort.Strings(wallets)
+	if max > 0 && len(wallets) > max {
+		wallets = wallets[:max]
+	}
+	return wallets
+}
+
+// TestDirectorySourceMatchesCollector is the determinism invariant the
+// engine's batch equivalence rests on: a converged DirectorySource crawl
+// holds, per wallet, exactly the activity the synchronous profit collector
+// computes.
+func TestDirectorySourceMatchesCollector(t *testing.T) {
+	u := ecosim.Generate(ecosim.SmallConfig())
+	wallets := universeWallets(u, 25)
+	if len(wallets) == 0 {
+		t.Fatal("universe has no pool wallets")
+	}
+	collector := profit.NewCollector(u.Pools, nil, u.Config.QueryTime)
+
+	s := probe.New(probe.Config{
+		Source:  probe.NewDirectorySource(u.Pools, u.Config.QueryTime),
+		Workers: 4,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	defer s.Close()
+	for _, w := range wallets {
+		s.Enqueue(w)
+	}
+	if err := s.WaitConverged(ctx); err != nil {
+		t.Fatalf("converge: %v", err)
+	}
+
+	for _, w := range wallets {
+		want := collector.CollectWallet(w)
+		got := s.CollectWallet(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("wallet %s activity differs:\nprobe:     %+v\ncollector: %+v", w, got, want)
+		}
+	}
+	// The opaque pool was queried and classified, not treated as a failure.
+	var opaqueSeen bool
+	for _, pc := range s.Stats().Pools {
+		if pc.OpaquePool > 0 {
+			opaqueSeen = true
+		}
+		if pc.Failed > 0 {
+			t.Fatalf("directory crawl recorded failures: %+v", pc)
+		}
+	}
+	if !opaqueSeen {
+		t.Fatal("no opaque-pool classification recorded (minergate should 403)")
+	}
+}
+
+// TestHTTPSourceMatchesCollector spins one pool.Server per universe pool —
+// same ledgers, pinned clock — and requires a converged HTTP crawl to
+// reproduce the synchronous collector's activity exactly (JSON-compared:
+// payment histories, totals, last shares all round-trip losslessly).
+func TestHTTPSourceMatchesCollector(t *testing.T) {
+	u := ecosim.Generate(ecosim.SmallConfig())
+	wallets := universeWallets(u, 15)
+	collector := profit.NewCollector(u.Pools, nil, u.Config.QueryTime)
+
+	endpoints := map[string]string{}
+	for _, p := range u.Pools.Pools() {
+		srv := pool.NewServer(p)
+		srv.Clock = func() time.Time { return u.Config.QueryTime }
+		addr, err := srv.ListenHTTP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen %s: %v", p.Name, err)
+		}
+		defer srv.Close()
+		endpoints[p.Name] = "http://" + addr
+	}
+
+	s := probe.New(probe.Config{
+		Source:  probe.NewHTTPSource(endpoints, nil),
+		Workers: 4,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	defer s.Close()
+	for _, w := range wallets {
+		s.Enqueue(w)
+	}
+	if err := s.WaitConverged(ctx); err != nil {
+		t.Fatalf("converge: %v", err)
+	}
+
+	for _, w := range wallets {
+		ent, ok := s.Peek(w)
+		if !ok {
+			t.Fatalf("wallet %s missing from cache", w)
+		}
+		if ent.Err != "" {
+			t.Fatalf("wallet %s probe error: %s", w, ent.Err)
+		}
+		want, _ := json.Marshal(collector.CollectWallet(w))
+		got, _ := json.Marshal(ent.Activity)
+		if string(got) != string(want) {
+			t.Fatalf("wallet %s HTTP activity differs:\nprobe:     %s\ncollector: %s", w, got, want)
+		}
+	}
+}
+
+// TestHTTPSourceErrorPaths covers the client-side classification satellites:
+// 403 opaque, 404 unknown, connection refused.
+func TestHTTPSourceErrorPaths(t *testing.T) {
+	queryTime := time.Date(2019, 4, 30, 0, 0, 0, 0, time.UTC)
+
+	opaquePolicy := pool.DefaultPolicy()
+	opaquePolicy.Transparent = false
+	opaque := pool.New("opaque", nil, "XMR", opaquePolicy, nil)
+	opaqueSrv := pool.NewServer(opaque)
+	opaqueAddr, err := opaqueSrv.ListenHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opaqueSrv.Close()
+
+	empty := pool.New("empty", nil, "XMR", pool.DefaultPolicy(), nil)
+	emptySrv := pool.NewServer(empty)
+	emptySrv.Clock = func() time.Time { return queryTime }
+	emptyAddr, err := emptySrv.ListenHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emptySrv.Close()
+
+	src := probe.NewHTTPSource(map[string]string{
+		"opaque": "http://" + opaqueAddr,
+		"empty":  "http://" + emptyAddr,
+		"down":   "http://127.0.0.1:1", // nothing listens here
+	}, &http.Client{Timeout: time.Second})
+
+	ctx := context.Background()
+	if _, err := src.Fetch(ctx, "opaque", "w"); probe.Classify(err) != probe.ErrorOpaquePool {
+		t.Fatalf("opaque pool classified as %q (%v)", probe.Classify(err), err)
+	}
+	if _, err := src.Fetch(ctx, "empty", "w"); probe.Classify(err) != probe.ErrorUnknownWallet {
+		t.Fatalf("unknown wallet classified as %q (%v)", probe.Classify(err), err)
+	}
+	if _, err := src.Fetch(ctx, "down", "w"); probe.Classify(err) != probe.ErrorUnreachable {
+		t.Fatalf("unreachable pool classified as %q (%v)", probe.Classify(err), err)
+	}
+	if _, err := src.Fetch(ctx, "no-such-pool", "w"); probe.Classify(err) != probe.ErrorUnreachable {
+		t.Fatalf("unknown pool name classified as %q (%v)", probe.Classify(err), err)
+	}
+}

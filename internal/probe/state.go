@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"sort"
+	"time"
+
+	"cryptomining/internal/profit"
+)
+
+// CacheState is the serializable form of the probe cache, carried inside
+// stream.EngineState so checkpoints preserve probe results across restarts —
+// a resumed daemon re-probes only what the TTL says is stale, never the whole
+// wallet set. Entries are sorted by wallet so the same cache always
+// serializes to the same bytes.
+type CacheState struct {
+	Entries []EntryState
+}
+
+// EntryState is one persisted cache entry.
+type EntryState struct {
+	Wallet   string
+	Activity profit.WalletActivity
+	// FetchedAtUnixNano pins the fetch time (UnixNano survives gob exactly
+	// and keeps the encoding canonical).
+	FetchedAtUnixNano int64
+	Err               string
+}
+
+// ExportCache snapshots the cache in canonical (wallet-sorted) order. Safe to
+// call while the crawl runs; in-flight probes simply land after the
+// snapshot, covered by the restore-side EnsureFresh sweep.
+func (s *Scheduler) ExportCache() *CacheState {
+	s.mu.Lock()
+	wallets := make([]string, 0, len(s.cache))
+	for w := range s.cache {
+		wallets = append(wallets, w)
+	}
+	sort.Strings(wallets)
+	st := &CacheState{Entries: make([]EntryState, 0, len(wallets))}
+	for _, w := range wallets {
+		ent := s.cache[w]
+		st.Entries = append(st.Entries, EntryState{
+			Wallet:            w,
+			Activity:          ent.Activity,
+			FetchedAtUnixNano: ent.FetchedAt.UnixNano(),
+			Err:               ent.Err,
+		})
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// RestoreCache loads a previously exported cache into an empty scheduler
+// (typically before Start). Existing entries for the same wallets are
+// overwritten.
+func (s *Scheduler) RestoreCache(st *CacheState) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, e := range st.Entries {
+		s.cache[e.Wallet] = &Entry{
+			Wallet:    e.Wallet,
+			Activity:  e.Activity,
+			FetchedAt: time.Unix(0, e.FetchedAtUnixNano),
+			Err:       e.Err,
+		}
+	}
+	s.mu.Unlock()
+}

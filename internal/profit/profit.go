@@ -60,22 +60,42 @@ type WalletActivity struct {
 // CollectWallet queries every transparent pool for one wallet, exactly as the
 // paper queries all wallets against all pools (§III-D).
 func (c *Collector) CollectWallet(wallet string) WalletActivity {
-	act := WalletActivity{Wallet: wallet}
 	if c.Directory == nil {
-		return act
+		return WalletActivity{Wallet: wallet}
 	}
+	var perPool []model.WalletStats
 	for _, p := range c.Directory.Transparent() {
 		stats, err := p.Stats(wallet, c.QueryTime)
 		if err != nil {
 			continue
 		}
+		perPool = append(perPool, stats)
+	}
+	return BuildActivity(wallet, perPool, c.Rates)
+}
+
+// BuildActivity assembles one wallet's cross-pool activity from raw per-pool
+// statistics: pools without any activity are dropped, payments are converted
+// to USD at the rate of their date (falling back to the pool total at the
+// average rate when no history is exposed), and the merged payment list is
+// time-sorted. It is the single aggregation path shared by the synchronous
+// Collector and the asynchronous probe crawler, which is what makes their
+// results bit-identical — callers must supply perPool in the same order
+// (pools sorted by name) for float summation to agree. A nil rates history
+// uses the default synthetic curve.
+func BuildActivity(wallet string, perPool []model.WalletStats, rates *exchange.History) WalletActivity {
+	if rates == nil {
+		rates = exchange.NewDefaultHistory()
+	}
+	act := WalletActivity{Wallet: wallet}
+	for _, stats := range perPool {
 		if stats.TotalPaid <= 0 && stats.Hashes == 0 {
 			continue
 		}
 		// Convert payments at the rate of their date.
 		var usd float64
 		for i := range stats.Payments {
-			stats.Payments[i].USD = c.Rates.Convert(stats.Payments[i].Amount, stats.Payments[i].Timestamp)
+			stats.Payments[i].USD = rates.Convert(stats.Payments[i].Amount, stats.Payments[i].Timestamp)
 			usd += stats.Payments[i].USD
 		}
 		if len(stats.Payments) == 0 && stats.TotalPaid > 0 {
@@ -86,7 +106,7 @@ func (c *Collector) CollectWallet(wallet string) WalletActivity {
 		act.TotalXMR += stats.TotalPaid
 		act.TotalUSD += usd
 		act.Payments = append(act.Payments, stats.Payments...)
-		act.Pools = append(act.Pools, p.Name)
+		act.Pools = append(act.Pools, stats.Pool)
 		if stats.LastShare.After(act.LastShare) {
 			act.LastShare = stats.LastShare
 		}

@@ -49,13 +49,30 @@ type collector struct {
 
 	agg     *campaign.IncrementalAggregator
 	wallets *profit.CachedCollector
-	// seenWallets tracks distinct non-donation identifiers across kept
-	// records, for the live profit running totals.
+	// collect is the wallet-activity source all pricing flows through: the
+	// synchronous cached collector by default, or the probe cache when a
+	// prober is attached (Config.Prober).
+	collect func(string) profit.WalletActivity
+	// seenWallets tracks distinct identifiers across kept records, for the
+	// live profit running totals (and, in probe mode, for deciding which
+	// probe completions concern the dataset).
 	seenWallets map[string]bool
+	// pricedProfit records, per wallet, the totals already folded into the
+	// live profit counters in probe mode; probe updates apply deltas against
+	// it so TTL refreshes adjust rather than double-count.
+	pricedProfit map[string]pricedTotals
 	// profitCache memoizes per-campaign profit for live views; entries are
 	// keyed by campaign pointer, so a rebuilt (dirty) campaign naturally
 	// misses and gets re-priced.
 	profitCache map[*model.Campaign]profit.CampaignProfit
+	// finalized flips once finalize has sealed the results; late probe
+	// updates (forced refreshes) must no longer touch shared campaign state.
+	finalized bool
+}
+
+// pricedTotals is one wallet's contribution to the live profit counters.
+type pricedTotals struct {
+	xmr, usd float64
 }
 
 type pendingInput struct {
@@ -64,20 +81,27 @@ type pendingInput struct {
 }
 
 func newCollector(e *Engine) *collector {
-	return &collector{
-		e:           e,
-		outcomes:    map[string]*SampleOutcome{},
-		pending:     map[string]pendingInput{},
-		byWallet:    map[string][]*SampleOutcome{},
-		illicit:     map[string]bool{},
-		rel:         graph.NewDisjointSet[string](),
-		relMiner:    map[string]bool{},
-		relWaiting:  map[string][]*SampleOutcome{},
-		agg:         campaign.NewIncremental(aggregatorConfig(e.cfg)),
-		wallets:     profit.NewCachedCollector(profit.NewCollector(e.cfg.Pools, e.cfg.Rates, e.cfg.QueryTime)),
-		seenWallets: map[string]bool{},
-		profitCache: map[*model.Campaign]profit.CampaignProfit{},
+	c := &collector{
+		e:            e,
+		outcomes:     map[string]*SampleOutcome{},
+		pending:      map[string]pendingInput{},
+		byWallet:     map[string][]*SampleOutcome{},
+		illicit:      map[string]bool{},
+		rel:          graph.NewDisjointSet[string](),
+		relMiner:     map[string]bool{},
+		relWaiting:   map[string][]*SampleOutcome{},
+		agg:          campaign.NewIncremental(aggregatorConfig(e.cfg)),
+		wallets:      profit.NewCachedCollector(profit.NewCollector(e.cfg.Pools, e.cfg.Rates, e.cfg.QueryTime)),
+		seenWallets:  map[string]bool{},
+		pricedProfit: map[string]pricedTotals{},
+		profitCache:  map[*model.Campaign]profit.CampaignProfit{},
 	}
+	if e.cfg.Prober != nil {
+		c.collect = e.cfg.Prober.CollectWallet
+	} else {
+		c.collect = c.wallets.CollectWallet
+	}
+	return c
 }
 
 // handle processes one analyzed sample: records it, wires it into the
@@ -243,12 +267,21 @@ func (c *collector) keep(o *SampleOutcome) {
 	}
 	c.e.stats.campaigns.Store(int64(c.agg.Len()))
 
-	// Live profit running totals: first sighting of a (non-donation) wallet
-	// pulls its pool activity through the shared cache.
+	// Live profit running totals: first sighting of a wallet. With a prober
+	// the pool queries leave the hot path — the sighting only enqueues an
+	// asynchronous probe, and totals land when it completes (immediately, if
+	// the cache already holds the wallet). Without one, activity is pulled
+	// synchronously through the shared cache as before.
 	if o.Record.HasIdentifier() && !c.seenWallets[o.Record.User] {
-		c.seenWallets[o.Record.User] = true
-		if _, donation := c.e.cfg.OSINT.IsDonationWallet(o.Record.User); !donation {
-			act := c.wallets.CollectWallet(o.Record.User)
+		wallet := o.Record.User
+		c.seenWallets[wallet] = true
+		if p := c.e.cfg.Prober; p != nil {
+			p.Enqueue(wallet)
+			if ent, ok := p.Peek(wallet); ok {
+				c.applyProbedActivity(wallet, ent.Activity)
+			}
+		} else if _, donation := c.e.cfg.OSINT.IsDonationWallet(wallet); !donation {
+			act := c.wallets.CollectWallet(wallet)
 			c.e.stats.wallets.Add(1)
 			c.e.stats.addLiveProfit(act.TotalXMR, act.TotalUSD)
 		}
@@ -263,6 +296,24 @@ func (c *collector) keep(o *SampleOutcome) {
 		Campaigns:  c.agg.Len(),
 		Kept:       int(c.e.stats.kept.Load()),
 	})
+}
+
+// applyProbedActivity folds one probed wallet's cross-pool totals into the
+// live profit counters, as a delta against what the wallet contributed
+// before — so a TTL refresh against live pools adjusts the running figures
+// instead of double-counting, and re-applying an unchanged activity is a
+// no-op. Donation wallets stay excluded from the running totals, exactly as
+// in the synchronous path. Called under e.mu.
+func (c *collector) applyProbedActivity(wallet string, act profit.WalletActivity) {
+	if _, donation := c.e.cfg.OSINT.IsDonationWallet(wallet); donation {
+		return
+	}
+	prev, counted := c.pricedProfit[wallet]
+	if !counted {
+		c.e.stats.wallets.Add(1)
+	}
+	c.e.stats.addLiveProfit(act.TotalXMR-prev.xmr, act.TotalUSD-prev.usd)
+	c.pricedProfit[wallet] = pricedTotals{xmr: act.TotalXMR, usd: act.TotalUSD}
 }
 
 // relFind returns the relation-component root of a sample hash.
@@ -295,6 +346,7 @@ func (c *collector) relUnion(a, b string) {
 // derived here iterates in deterministic (sorted) order, so the output is
 // bit-identical regardless of arrival order or shard count.
 func (c *collector) finalize() *Results {
+	c.finalized = true
 	res := &Results{
 		Outcomes:         c.outcomes,
 		CountsBySource:   map[model.Source]int{},
@@ -338,7 +390,7 @@ func (c *collector) finalize() *Results {
 	// must not mutate campaigns shared with the returned Results.
 	c.profitCache = make(map[*model.Campaign]profit.CampaignProfit, len(res.Campaigns))
 	for _, cam := range res.Campaigns {
-		cp := profit.AnalyzeCampaignWith(cam, c.wallets.CollectWallet, c.e.cfg.QueryTime)
+		cp := profit.AnalyzeCampaignWith(cam, c.collect, c.e.cfg.QueryTime)
 		c.profitCache[cam] = cp
 		if cp.XMR > 0 {
 			res.Profits = append(res.Profits, cp)

@@ -14,6 +14,7 @@ import (
 
 	"cryptomining/internal/binfmt"
 	"cryptomining/internal/model"
+	"cryptomining/internal/probe"
 	"cryptomining/internal/profit"
 	"cryptomining/internal/static"
 )
@@ -101,7 +102,46 @@ func New(cfg Config) *Engine {
 		e.shards = append(e.shards, newShard(e))
 	}
 	e.col = newCollector(e)
+	if cfg.Prober != nil {
+		cfg.Prober.SetOnUpdate(e.onProbeUpdate)
+	}
 	return e
+}
+
+// onProbeUpdate folds one completed wallet probe into the live state: the
+// running profit totals (for wallets the dataset has seen), an invalidated
+// per-campaign profit cache so live views re-price lazily, and a
+// profit_updated / probe_error event on the pub/sub. Updates arriving after
+// finalize are dropped — the results are sealed, and re-pricing would mutate
+// campaigns shared with the returned Results.
+func (e *Engine) onProbeUpdate(u probe.Update) {
+	e.mu.Lock()
+	if e.col.finalized {
+		e.mu.Unlock()
+		return
+	}
+	if e.col.seenWallets[u.Wallet] {
+		e.col.applyProbedActivity(u.Wallet, u.Activity)
+		// Only a wallet the dataset has seen can change campaign figures;
+		// live views then re-price lazily on their next read.
+		if len(e.col.profitCache) > 0 {
+			e.col.profitCache = map[*model.Campaign]profit.CampaignProfit{}
+		}
+	}
+	ev := Event{
+		Type:      EventProfitUpdated,
+		Wallet:    u.Wallet,
+		XMR:       u.Activity.TotalXMR,
+		USD:       u.Activity.TotalUSD,
+		Campaigns: int(e.stats.campaigns.Load()),
+		Kept:      int(e.stats.kept.Load()),
+	}
+	if u.Err != "" {
+		ev.Type = EventProbeError
+		ev.Error = u.Err
+	}
+	e.publish(ev)
+	e.mu.Unlock()
 }
 
 // Start launches the dispatcher, the sharded stage chains and the collector.
@@ -315,9 +355,29 @@ func (e *Engine) Finish(ctx context.Context) (*Results, error) {
 	if err := e.runCtx.Err(); err != nil {
 		return nil, fmt.Errorf("stream: ingestion aborted: %w", err)
 	}
+	if p := e.cfg.Prober; p != nil {
+		// The probe cache is the profit source: finalize only once every
+		// wallet the collector enqueued has been probed, so the final figures
+		// match the batch pipeline's synchronous collection exactly. Waiting
+		// on cache coverage (not queue drain) keeps Finish terminating even
+		// when the TTL is shorter than a full crawl and the sweep keeps the
+		// queue from ever emptying.
+		e.mu.Lock()
+		wallets := sortedKeys(e.col.seenWallets)
+		e.mu.Unlock()
+		if err := p.WaitCached(ctx, wallets); err != nil {
+			return nil, fmt.Errorf("stream: waiting for probe convergence: %w", err)
+		}
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.col.finalize(), nil
+	res := e.col.finalize()
+	e.mu.Unlock()
+	if p := e.cfg.Prober; p != nil {
+		// The results are sealed; automatic re-probes would be discarded, so
+		// stop the TTL sweep from hammering pools for nothing.
+		p.DisableRefresh()
+	}
+	return res, nil
 }
 
 // CampaignView is a live, JSON-friendly summary of one campaign.
@@ -391,7 +451,7 @@ func (e *Engine) liveCampaigns() ([]*model.Campaign, map[*model.Campaign]profit.
 	for _, c := range res.Campaigns {
 		cp, priced := e.col.profitCache[c]
 		if !priced {
-			cp = profit.AnalyzeCampaignWith(c, e.col.wallets.CollectWallet, e.cfg.QueryTime)
+			cp = profit.AnalyzeCampaignWith(c, e.col.collect, e.cfg.QueryTime)
 		}
 		fresh[c] = cp
 	}
@@ -456,7 +516,7 @@ func (e *Engine) CampaignDetail(id int) (CampaignDetail, bool) {
 		}
 		cp, priced := e.col.profitCache[c]
 		if !priced {
-			cp = profit.AnalyzeCampaignWith(c, e.col.wallets.CollectWallet, e.cfg.QueryTime)
+			cp = profit.AnalyzeCampaignWith(c, e.col.collect, e.cfg.QueryTime)
 			e.col.profitCache[c] = cp
 		}
 		d := CampaignDetail{

@@ -7,6 +7,12 @@ const (
 	// EventSampleKept fires when a sample enters the dataset, updating its
 	// campaign (directly or by creating/merging components).
 	EventSampleKept EventType = "sample_kept"
+	// EventProfitUpdated fires when an asynchronous wallet probe lands and
+	// the wallet's activity enters the live profit figures.
+	EventProfitUpdated EventType = "profit_updated"
+	// EventProbeError fires when a wallet probe finishes with pools left
+	// unreachable after retries (partial activity is still applied).
+	EventProbeError EventType = "probe_error"
 	// EventDrained fires once, when Finish has assembled the final results.
 	EventDrained EventType = "drained"
 )
@@ -29,6 +35,12 @@ type Event struct {
 	// emission time (the final figures for EventDrained).
 	Campaigns int `json:"campaigns"`
 	Kept      int `json:"kept"`
+	// XMR / USD carry the probed wallet's cross-pool totals for
+	// EventProfitUpdated.
+	XMR float64 `json:"xmr,omitempty"`
+	USD float64 `json:"usd,omitempty"`
+	// Error describes what failed for EventProbeError.
+	Error string `json:"error,omitempty"`
 }
 
 // Subscribe registers a live event subscription and returns its channel plus

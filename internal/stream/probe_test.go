@@ -1,0 +1,127 @@
+package stream_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/ecosim"
+	"cryptomining/internal/probe"
+	"cryptomining/internal/stream"
+)
+
+// TestProbeModeMatchesBatch is the probe subsystem's exact-equivalence
+// acceptance: an engine whose wallet statistics arrive through the
+// asynchronous DirectorySource crawler must, once the probe cache has
+// converged (Finish waits for it), produce campaigns and profit figures
+// bit-identical to the synchronous batch pipeline — under shuffled,
+// concurrent ingestion, and with probe events published along the way. Run
+// under -race it doubles as the probe/collector concurrency test.
+func TestProbeModeMatchesBatch(t *testing.T) {
+	u := ecosim.Generate(ecosim.SmallConfig())
+	batch, err := core.NewFromUniverse(u).Run()
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+
+	cfg := core.NewFromUniverse(u).StreamConfig()
+	cfg.Shards = 4
+	cfg.QueueDepth = 8
+	prober := probe.New(probe.Config{
+		Source:  probe.NewDirectorySource(cfg.Pools, cfg.QueryTime),
+		Workers: 4,
+	})
+	cfg.Prober = prober
+	eng := stream.New(cfg)
+	ctx := context.Background()
+	eng.Start(ctx)
+	prober.Start(ctx)
+	defer prober.Close()
+
+	events, cancelEvents := eng.Subscribe(1 << 16)
+	defer cancelEvents()
+
+	hashes := u.Corpus.Hashes()
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(hashes), func(i, j int) { hashes[i], hashes[j] = hashes[j], hashes[i] })
+	for _, h := range hashes {
+		sample, ok := u.Corpus.Get(h)
+		if !ok {
+			continue
+		}
+		if err := eng.Submit(ctx, sample); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	res, err := eng.Finish(ctx)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	// Finish blocks until every seen wallet is cached; the crawl itself
+	// drains moments later (the last worker may still be unwinding).
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	if err := prober.WaitConverged(wctx); err != nil {
+		t.Fatalf("crawl never drained after Finish: %v", err)
+	}
+
+	// Campaign partition and profit: exact, field for field.
+	if len(res.Campaigns) != len(batch.Campaigns) {
+		t.Fatalf("campaigns: got %d want %d", len(res.Campaigns), len(batch.Campaigns))
+	}
+	for i, want := range batch.Campaigns {
+		got := res.Campaigns[i]
+		if got.ID != want.ID ||
+			!reflect.DeepEqual(got.Wallets, want.Wallets) ||
+			!reflect.DeepEqual(got.Pools, want.Pools) ||
+			got.XMRMined != want.XMRMined ||
+			got.USDEarned != want.USDEarned ||
+			got.PaymentCount != want.PaymentCount ||
+			got.Active != want.Active {
+			t.Fatalf("campaign %d differs:\nprobe: %+v\nbatch: %+v", i, got, want)
+		}
+	}
+	if res.TotalXMR != batch.TotalXMR || res.TotalUSD != batch.TotalUSD ||
+		res.CirculationShare != batch.CirculationShare {
+		t.Fatalf("totals differ: probe (%v XMR, %v USD, %v share) batch (%v XMR, %v USD, %v share)",
+			res.TotalXMR, res.TotalUSD, res.CirculationShare,
+			batch.TotalXMR, batch.TotalUSD, batch.CirculationShare)
+	}
+	if len(res.Profits) != len(batch.Profits) {
+		t.Fatalf("profits: got %d want %d", len(res.Profits), len(batch.Profits))
+	}
+	for i := range res.Profits {
+		if res.Profits[i].XMR != batch.Profits[i].XMR || res.Profits[i].USD != batch.Profits[i].USD {
+			t.Fatalf("profit %d differs: probe (%v, %v) batch (%v, %v)", i,
+				res.Profits[i].XMR, res.Profits[i].USD, batch.Profits[i].XMR, batch.Profits[i].USD)
+		}
+	}
+
+	// The live running totals accumulate per-wallet deltas in probe order, so
+	// they agree with the final figure up to float summation order.
+	st := eng.Stats()
+	if math.Abs(st.TotalXMR-res.TotalXMR) > 1e-6*(1+math.Abs(res.TotalXMR)) {
+		t.Fatalf("live TotalXMR %v diverges from final %v", st.TotalXMR, res.TotalXMR)
+	}
+	if st.Wallets == 0 {
+		t.Fatal("no wallets counted as priced")
+	}
+
+	// Probe completions surfaced on the event stream.
+	profitEvents := 0
+	for ev := range events {
+		switch ev.Type {
+		case stream.EventProfitUpdated:
+			profitEvents++
+		case stream.EventProbeError:
+			t.Fatalf("unexpected probe error event: %+v", ev)
+		}
+	}
+	if profitEvents == 0 {
+		t.Fatal("no profit_updated events published")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"cryptomining/internal/campaign"
 	"cryptomining/internal/graph"
+	"cryptomining/internal/probe"
 )
 
 // EngineState is a self-contained snapshot of everything the engine must
@@ -56,9 +57,24 @@ type EngineState struct {
 	// SeenWallets is the sorted set of identifiers already priced into the
 	// live profit totals.
 	SeenWallets []string
+	// PricedWallets records, per wallet (sorted), the totals already folded
+	// into the live profit counters in probe mode; restore applies probe
+	// results as deltas against it, so nothing double-counts.
+	PricedWallets []PricedWalletState
+	// Probe is the wallet-probe cache when the engine runs with an
+	// asynchronous prober (nil otherwise). Restoring it is what lets a
+	// restarted daemon re-probe only TTL-expired wallets instead of
+	// re-hammering every pool for the whole set.
+	Probe *probe.CacheState
 	// Counters carries the live stats so uptime, throughput and running
 	// totals span restarts.
 	Counters CounterState
+}
+
+// PricedWalletState is one wallet's contribution to the live profit totals.
+type PricedWalletState struct {
+	Wallet   string
+	XMR, USD float64
 }
 
 // OutcomeState pairs an outcome with the key it is stored under.
@@ -153,6 +169,13 @@ func (e *Engine) ExportState() *EngineState {
 		st.RelWaiting = append(st.RelWaiting, ws)
 	}
 	st.SeenWallets = sortedTrueKeys(c.seenWallets)
+	for _, w := range sortedKeys(c.pricedProfit) {
+		p := c.pricedProfit[w]
+		st.PricedWallets = append(st.PricedWallets, PricedWalletState{Wallet: w, XMR: p.xmr, USD: p.usd})
+	}
+	if e.cfg.Prober != nil {
+		st.Probe = e.cfg.Prober.ExportCache()
+	}
 
 	st.Counters = CounterState{
 		Submitted:   e.stats.submitted.Load(),
@@ -246,6 +269,9 @@ func (e *Engine) RestoreState(st *EngineState) error {
 	for _, w := range st.SeenWallets {
 		c.seenWallets[w] = true
 	}
+	for _, p := range st.PricedWallets {
+		c.pricedProfit[p.Wallet] = pricedTotals{xmr: p.XMR, usd: p.USD}
+	}
 
 	cs := st.Counters
 	// The submitted counter may have included samples that were still
@@ -272,6 +298,25 @@ func (e *Engine) RestoreState(st *EngineState) error {
 	}
 	e.stats.carriedNanos.Store(cs.UptimeNanos)
 	e.stats.markStart()
+
+	if p := e.cfg.Prober; p != nil {
+		p.RestoreCache(st.Probe)
+		// A checkpoint captures the engine state and the probe cache under
+		// different locks: a probe that completed between the two captures is
+		// in the cache but not yet in the priced totals. Reconcile by
+		// re-applying every cached activity for a seen wallet — deltas, so
+		// already-applied entries are no-ops (this runs after the counter
+		// restore above, which it adjusts).
+		for _, w := range st.SeenWallets {
+			if ent, ok := p.Peek(w); ok {
+				c.applyProbedActivity(w, ent.Activity)
+			}
+		}
+		// Resume the crawl where it stopped: exactly the seen wallets that
+		// were never probed (in flight or queued at the crash), carry a probe
+		// error, or have outlived the TTL.
+		p.EnsureFresh(st.SeenWallets)
+	}
 	return nil
 }
 

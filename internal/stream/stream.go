@@ -37,6 +37,7 @@ import (
 	"cryptomining/internal/osint"
 	"cryptomining/internal/pool"
 	"cryptomining/internal/pow"
+	"cryptomining/internal/probe"
 	"cryptomining/internal/profit"
 )
 
@@ -82,6 +83,16 @@ type Config struct {
 	// QueueDepth bounds every channel of the dataflow (default 64); a full
 	// queue exerts backpressure on Submit.
 	QueueDepth int
+
+	// Prober, when set, makes wallet-statistics collection asynchronous: the
+	// collector's first sighting of a wallet enqueues a probe instead of
+	// querying Pools synchronously under the collector lock, live profit is
+	// served from the probe cache, completed probes publish profit_updated
+	// (and failures probe_error) events, and Finish waits for the crawl to
+	// converge before pricing final results — which is what keeps them
+	// bit-identical to the synchronous batch path. Nil keeps the historical
+	// in-line collection.
+	Prober *probe.Scheduler
 }
 
 // withDefaults fills optional dependencies exactly like the batch pipeline

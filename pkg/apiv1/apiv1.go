@@ -21,6 +21,8 @@ const (
 	CodeIngestClosed        = "ingest_closed"
 	CodeBackpressure        = "backpressure"
 	CodeInternal            = "internal"
+	CodeProbeDisabled       = "probe_disabled"
+	CodeFinishUnavailable   = "finish_unavailable"
 )
 
 // Error is the body of the uniform error envelope.
@@ -167,15 +169,75 @@ type Event struct {
 	Pool       string `json:"pool,omitempty"`
 	Campaigns  int    `json:"campaigns"`
 	Kept       int    `json:"kept"`
+	// XMR / USD carry the probed wallet's cross-pool totals on
+	// profit_updated events.
+	XMR float64 `json:"xmr,omitempty"`
+	USD float64 `json:"usd,omitempty"`
+	// Error describes the failure on probe_error events.
+	Error string `json:"error,omitempty"`
 }
 
 // Event type values (mirroring stream.EventType).
 const (
-	EventSampleKept = "sample_kept"
-	EventDrained    = "drained"
+	EventSampleKept    = "sample_kept"
+	EventProfitUpdated = "profit_updated"
+	EventProbeError    = "probe_error"
+	EventDrained       = "drained"
 )
 
 // Health is the liveness body served by GET /api/v1/healthz.
 type Health struct {
 	Status string `json:"status"`
+}
+
+// ProbePoolStats is one pool's crawl telemetry (GET /api/v1/probe).
+type ProbePoolStats struct {
+	Pool string `json:"pool"`
+	// Requests counts fetch attempts; OK / UnknownWallet / OpaquePool /
+	// Failed classify their outcomes (Failed = transient errors that
+	// exhausted retries); Retries counts backoff rounds in between.
+	Requests      uint64 `json:"requests"`
+	OK            uint64 `json:"ok"`
+	UnknownWallet uint64 `json:"unknown_wallet"`
+	OpaquePool    uint64 `json:"opaque_pool"`
+	Retries       uint64 `json:"retries"`
+	Failed        uint64 `json:"failed"`
+	// ThrottledNanos is the cumulative time spent waiting on this pool's
+	// rate limiter.
+	ThrottledNanos int64 `json:"throttled_ns"`
+}
+
+// ProbeAgeBucket counts probe-cache entries whose age is at most
+// UpToSeconds (0 = no upper bound; the buckets partition the cache).
+type ProbeAgeBucket struct {
+	UpToSeconds int64 `json:"up_to_seconds"`
+	Count       int   `json:"count"`
+}
+
+// ProbeStats is the wallet-probe subsystem snapshot (GET /api/v1/probe).
+type ProbeStats struct {
+	// QueueDepth / InFlight describe pending crawl work; Converged is both
+	// zero (every enqueued wallet probed).
+	QueueDepth int  `json:"queue_depth"`
+	InFlight   int  `json:"in_flight"`
+	Converged  bool `json:"converged"`
+	// CacheSize / CacheErrors describe the per-wallet cache; Completed
+	// counts probes ever finished (refreshes included).
+	CacheSize   int    `json:"cache_size"`
+	CacheErrors int    `json:"cache_errors"`
+	Completed   uint64 `json:"completed"`
+	// CacheHits / CacheMisses count profit reads served from / missing the
+	// cache.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Pools is the per-pool telemetry, sorted by name.
+	Pools []ProbePoolStats `json:"pools"`
+	// CacheAges is the cache age distribution at snapshot time.
+	CacheAges []ProbeAgeBucket `json:"cache_ages"`
+}
+
+// ProbeRefresh acknowledges POST /api/v1/probe/refresh: how many probes the
+// request scheduled.
+type ProbeRefresh struct {
+	Requeued int `json:"requeued"`
 }

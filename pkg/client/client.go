@@ -207,6 +207,47 @@ func (c *Client) Checkpoint(ctx context.Context) (apiv1.Checkpoint, error) {
 	return out, err
 }
 
+// ProbeStats fetches the wallet-probe crawl snapshot: queue depth, per-pool
+// rate/error counters and the cache age distribution. Daemons running
+// without a prober answer 409 (code probe_disabled).
+func (c *Client) ProbeStats(ctx context.Context) (apiv1.ProbeStats, error) {
+	var out apiv1.ProbeStats
+	err := c.do(ctx, http.MethodGet, "/api/v1/probe", nil, nil, "", &out)
+	return out, err
+}
+
+// ProbeRefreshQuery selects what POST /api/v1/probe/refresh re-probes:
+// exactly one of Wallet (one wallet, fresh or not) or All (true = the whole
+// cache, false = only stale/errored entries).
+type ProbeRefreshQuery struct {
+	Wallet string
+	All    bool
+}
+
+// ProbeRefresh forces wallet re-probes and reports how many were scheduled.
+func (c *Client) ProbeRefresh(ctx context.Context, q ProbeRefreshQuery) (apiv1.ProbeRefresh, error) {
+	v := url.Values{}
+	if q.Wallet != "" {
+		v.Set("wallet", q.Wallet)
+	} else if q.All {
+		v.Set("scope", "all")
+	} else {
+		v.Set("scope", "stale")
+	}
+	var out apiv1.ProbeRefresh
+	err := c.do(ctx, http.MethodPost, "/api/v1/probe/refresh", v, nil, "", &out)
+	return out, err
+}
+
+// Finish asks the daemon to drain the engine and seal the final results
+// (blocking until the dataflow — and, with a prober, the probe crawl — has
+// converged), returning them. Afterwards Results serves the same summary.
+func (c *Client) Finish(ctx context.Context) (apiv1.Results, error) {
+	var out apiv1.Results
+	err := c.do(ctx, http.MethodPost, "/api/v1/finish", nil, nil, "", &out)
+	return out, err
+}
+
 // SubmitSample ingests one sample.
 func (c *Client) SubmitSample(ctx context.Context, s apiv1.Sample) (apiv1.IngestResult, error) {
 	var out apiv1.IngestResult

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# probe_smoke.sh — end-to-end smoke test of the live pool-probing subsystem.
+#
+# Builds the deterministic universe's per-pool ledgers (cmd/ecosimgen), serves
+# them from real poolserver processes (minergate opaque, minexmr with the
+# historic hashrate series, like the paper's pool universe), runs streamd as a
+# pure network service that crawls those pools over HTTP (-probe-http), ingests
+# the corpus through the pkg/client SDK, waits for probe convergence via
+# /api/v1/probe, and diffs what the API serves — the campaign listing, a
+# re-rendered Table VIII, and the sealed /api/v1/results — byte-for-byte
+# against cmd/paperrepro's batch output.
+#
+# Usage: scripts/probe_smoke.sh [streamd-binary] [poolserver-binary]
+set -euo pipefail
+
+STREAMD=${1:-./streamd}
+POOLSRV=${2:-./poolserver}
+SEED=7
+SCALE=0.12
+PORT=18301
+POOL_PORT_BASE=18400
+WORK=$(mktemp -d)
+trap 'kill -9 ${PIDS[@]:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PIDS=()
+
+echo "== deterministic universe: batch reference + pool ledgers =="
+go run ./cmd/paperrepro -out "$WORK/batch" -seed $SEED -scale $SCALE >/dev/null
+go run ./cmd/ecosimgen -out "$WORK/eco" -seed $SEED -scale $SCALE >/dev/null
+
+echo "== live pool servers, one per ledger =="
+i=0
+entries=()
+for ledger in "$WORK"/eco/pools/*.json; do
+  name=$(basename "$ledger" .json)
+  port=$((POOL_PORT_BASE + i)); i=$((i + 1))
+  opts=()
+  [ "$name" = minergate ] && opts+=(-opaque)
+  [ "$name" = minexmr ] && opts+=(-historic-hashrate)
+  "$POOLSRV" -name "$name" -ledger "$ledger" \
+    -http 127.0.0.1:$port -stratum 127.0.0.1:0 ${opts[@]+"${opts[@]}"} \
+    >"$WORK/pool-$name.log" 2>&1 &
+  PIDS+=($!)
+  entries+=("  \"$name\": \"http://127.0.0.1:$port\"")
+done
+{
+  echo "{"
+  printf '%s,\n' "${entries[@]::${#entries[@]}-1}"
+  printf '%s\n' "${entries[@]: -1}"
+  echo "}"
+} >"$WORK/pools.json"
+echo "started $i pool servers"
+
+for ((j = 0; j < i; j++)); do
+  port=$((POOL_PORT_BASE + j))
+  for k in $(seq 1 60); do
+    if curl -sf "http://127.0.0.1:$port/api/pool" >/dev/null 2>&1; then
+      break
+    fi
+    if [ "$k" = 60 ]; then
+      echo "FATAL: pool server on :$port never became healthy" >&2
+      cat "$WORK"/pool-*.log >&2
+      exit 1
+    fi
+    sleep 0.25
+  done
+done
+
+echo "== pool API method guards =="
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$POOL_PORT_BASE/api/pool")
+if [ "$code" != 405 ]; then
+  echo "FATAL: POST /api/pool returned $code, want 405" >&2
+  exit 1
+fi
+
+echo "== streamd probing the live pools over HTTP =="
+"$STREAMD" -no-feed -seed $SEED -scale $SCALE -http 127.0.0.1:$PORT \
+  -probe-http "$WORK/pools.json" -probe-rate 50 -probe-workers 8 \
+  >"$WORK/streamd.log" 2>&1 &
+PIDS+=($!)
+
+for k in $(seq 1 120); do
+  if curl -sf "http://127.0.0.1:$PORT/api/v1/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$k" = 120 ]; then
+    echo "FATAL: streamd never became healthy" >&2
+    cat "$WORK/streamd.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+echo "== SDK ingestion, probe convergence, diff against batch output =="
+go run ./cmd/apismoke -addr "http://127.0.0.1:$PORT" -seed $SEED -scale $SCALE \
+  -finish -table8 "$WORK/batch/table8_top_campaigns.txt"
+
+echo "== probe telemetry sanity =="
+probe_json=$(curl -sf "http://127.0.0.1:$PORT/api/v1/probe")
+echo "$probe_json" | grep -q '"converged": true' || {
+  echo "FATAL: probe not converged: $probe_json" >&2
+  exit 1
+}
+# The opaque pool (minergate) must have been classified, not retried to death.
+echo "$probe_json" | grep -q '"opaque_pool": [1-9]' || {
+  echo "FATAL: no opaque-pool classifications recorded: $probe_json" >&2
+  exit 1
+}
+# Nothing may have exhausted its retries against healthy pools.
+if echo "$probe_json" | grep -q '"failed": [1-9]'; then
+  echo "FATAL: probe recorded failed fetches: $probe_json" >&2
+  exit 1
+fi
+
+echo "OK: probe smoke passed"
