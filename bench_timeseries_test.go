@@ -1,0 +1,83 @@
+// Timeseries overhead benchmark: the same feed ingested with the
+// longitudinal series subsystem disabled versus enabled (default retention
+// ladder). The acceptance criterion is <5% collector hot-path overhead with
+// series on; BENCH_timeseries.json records a baseline. A direct
+// record-throughput microbenchmark isolates the per-event cost.
+//
+//	go test -run xxx -bench Timeseries -benchtime 1x .
+package cryptomining
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/stream"
+	"cryptomining/internal/timeseries"
+)
+
+// runIngestSeries pushes the corpus through a fresh engine with the series
+// subsystem toggled, returning the analyzed count.
+func runIngestSeries(b *testing.B, disabled bool) int {
+	b.Helper()
+	u := universeOfSize(b, 1000)
+	cfg := core.NewFromUniverse(u).StreamConfig()
+	cfg.Timeseries.Disabled = disabled
+	eng := stream.New(cfg)
+	ctx := context.Background()
+	eng.Start(ctx)
+	for _, h := range u.Corpus.Hashes() {
+		s, ok := u.Corpus.Get(h)
+		if !ok {
+			continue
+		}
+		if err := eng.Submit(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res, err := eng.Finish(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(res.Outcomes)
+}
+
+// BenchmarkTimeseriesIngest compares whole-run ingest throughput with the
+// series subsystem off and on.
+func BenchmarkTimeseriesIngest(b *testing.B) {
+	for _, variant := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"series-off", true},
+		{"series-on", false},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			universeOfSize(b, 1000) // generate outside the timer
+			b.ResetTimer()
+			var analyzed int
+			for i := 0; i < b.N; i++ {
+				analyzed = runIngestSeries(b, variant.disabled)
+			}
+			b.StopTimer()
+			perSec := float64(analyzed) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "samples/sec")
+		})
+	}
+}
+
+// BenchmarkTimeseriesRecord isolates the store's per-event cost: one
+// ecosystem counter point per iteration, advancing one second every 16
+// events so sealing and cascading are exercised.
+func BenchmarkTimeseriesRecord(b *testing.B) {
+	st, err := timeseries.NewStore(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Unix(1_700_000_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Record(timeseries.SeriesSamples, base.Add(time.Duration(i/16)*time.Second), 1)
+	}
+}

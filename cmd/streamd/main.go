@@ -13,6 +13,14 @@
 // stopped, even after a SIGKILL. A resumed run's final results are identical
 // to an uninterrupted one.
 //
+// The engine maintains longitudinal timeseries (internal/timeseries) as it
+// ingests: ecosystem-wide arrival/keep rates, campaign and priced-XMR
+// gauges, per-pool shares, and per-campaign timelines, held in fixed-memory
+// rings with cascaded downsampling (-series-retention; -no-series disables
+// the subsystem). Series ride in checkpoints and survive crash recovery
+// bit-identically; at drain the daemon renders the paper-style yearly
+// evolution table from them.
+//
 // Wallet statistics are collected by the asynchronous probe crawler
 // (internal/probe): first sightings enqueue probes, live profit is served
 // from the probe cache, and the cache rides in checkpoints. By default the
@@ -26,6 +34,10 @@
 //	GET  /api/v1/stats          live engine counters
 //	GET  /api/v1/campaigns      paginated + filtered campaign listing
 //	GET  /api/v1/campaigns/{id} full campaign detail
+//	GET  /api/v1/campaigns/{id}/timeline
+//	                            the campaign's longitudinal series
+//	GET  /api/v1/timeseries     ecosystem longitudinal series + yearly
+//	                            evolution (409 with -no-series)
 //	GET  /api/v1/results        final summary (503 + Retry-After until drained)
 //	POST /api/v1/checkpoint     persist a snapshot now (409 without -data-dir)
 //	POST /api/v1/samples        remote ingestion (JSON or bulk NDJSON)
@@ -58,6 +70,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -68,7 +82,9 @@ import (
 	"cryptomining/internal/model"
 	"cryptomining/internal/persist"
 	"cryptomining/internal/probe"
+	"cryptomining/internal/report"
 	"cryptomining/internal/stream"
+	"cryptomining/internal/timeseries"
 	"cryptomining/pkg/apiv1"
 )
 
@@ -89,8 +105,27 @@ func main() {
 		probeInterval  = flag.Duration("probe-interval", 0, "wallet-stats TTL: cache entries older than this are re-probed (0 = probe once)")
 		probeRate      = flag.Float64("probe-rate", 0, "per-pool probe rate limit in requests/sec (0 = unlimited)")
 		probeWorkers   = flag.Int("probe-workers", 0, "concurrent probe workers (0 = default)")
+		noSeries       = flag.Bool("no-series", false, "disable the longitudinal timeseries subsystem (GET /api/v1/timeseries answers 409)")
+		seriesRet      = flag.String("series-retention", defaultSeriesRetention, "timeseries retention ladder as resolution:buckets pairs, finest first; memory stays bounded by buckets-per-level regardless of run length")
 	)
 	flag.Parse()
+
+	levels, err := validateFlags(flagValues{
+		scale:           *scale,
+		shards:          *shards,
+		queue:           *queue,
+		rate:            *rate,
+		topN:            *topN,
+		ckptEvery:       *ckptEvery,
+		probeInterval:   *probeInterval,
+		probeRate:       *probeRate,
+		probeWorkers:    *probeWorkers,
+		noSeries:        *noSeries,
+		seriesRetention: *seriesRet,
+	})
+	if err != nil {
+		log.Fatalf("invalid flags: %v", err)
+	}
 
 	cfg := ecosim.DefaultConfig().Scale(*scale)
 	cfg.Seed = *seed
@@ -105,6 +140,8 @@ func main() {
 	streamCfg := core.NewFromUniverse(u).StreamConfig()
 	streamCfg.Shards = *shards // 0 = GOMAXPROCS default
 	streamCfg.QueueDepth = *queue
+	streamCfg.Timeseries.Disabled = *noSeries
+	streamCfg.Timeseries.Levels = levels
 
 	// All pool queries go through the asynchronous probe crawler: the
 	// in-process directory by default (deterministic), or live pool servers
@@ -291,6 +328,11 @@ func main() {
 				es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
 				len(res.Records), len(res.Campaigns),
 				model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
+			// The paper-style longitudinal breakdown, rendered from the live
+			// series the daemon keeps serving at /api/v1/timeseries.
+			if snap, err := eng.Timeseries(stream.TimeseriesQuery{}); err == nil {
+				log.Printf("yearly evolution (data time):\n%s", yearlyEvolutionTable(snap.Years))
+			}
 		}()
 	}
 
@@ -336,6 +378,111 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
+}
+
+// defaultSeriesRetention is the flag form of timeseries.DefaultLevels: two
+// minutes of seconds, three hours of minutes, a week of hours, a decade of
+// days.
+const defaultSeriesRetention = "1s:120,1m:180,1h:168,1d:3650"
+
+// flagValues collects the flags validateFlags fail-fasts on.
+type flagValues struct {
+	scale           float64
+	shards          int
+	queue           int
+	rate            float64
+	topN            int
+	ckptEvery       time.Duration
+	probeInterval   time.Duration
+	probeRate       float64
+	probeWorkers    int
+	noSeries        bool
+	seriesRetention string
+}
+
+// validateFlags rejects flag values that would otherwise produce undefined
+// scheduler/store behavior (negative rates feeding token buckets, negative
+// durations feeding tickers, nonsensical retention ladders) with a clear
+// startup error instead. Zero keeps its documented sentinel meaning where
+// one exists (unlimited / default / disabled). It returns the parsed
+// timeseries retention ladder (nil with -no-series).
+func validateFlags(v flagValues) ([]timeseries.LevelSpec, error) {
+	if !(v.scale > 0) { // also rejects NaN
+		return nil, fmt.Errorf("-scale %v: must be > 0", v.scale)
+	}
+	if v.shards < 0 {
+		return nil, fmt.Errorf("-shards %d: must be >= 0 (0 = GOMAXPROCS)", v.shards)
+	}
+	if v.queue < 0 {
+		return nil, fmt.Errorf("-queue %d: must be >= 0 (0 = default depth)", v.queue)
+	}
+	if v.rate < 0 {
+		return nil, fmt.Errorf("-rate %v: must be >= 0 (0 = unthrottled)", v.rate)
+	}
+	if v.topN < 0 {
+		return nil, fmt.Errorf("-top %d: must be >= 0", v.topN)
+	}
+	if v.ckptEvery < 0 {
+		return nil, fmt.Errorf("-checkpoint-every %v: must be >= 0 (0 = periodic checkpoints off)", v.ckptEvery)
+	}
+	if v.probeInterval < 0 {
+		return nil, fmt.Errorf("-probe-interval %v: must be >= 0 (0 = probe once)", v.probeInterval)
+	}
+	if v.probeRate < 0 {
+		return nil, fmt.Errorf("-probe-rate %v: must be >= 0 (0 = unlimited)", v.probeRate)
+	}
+	if v.probeWorkers < 0 {
+		return nil, fmt.Errorf("-probe-workers %d: must be >= 0 (0 = default)", v.probeWorkers)
+	}
+	if v.noSeries {
+		return nil, nil
+	}
+	levels, err := parseRetention(v.seriesRetention)
+	if err != nil {
+		return nil, fmt.Errorf("-series-retention %q: %w", v.seriesRetention, err)
+	}
+	return levels, nil
+}
+
+// parseRetention parses a retention ladder spec: comma-separated
+// resolution:buckets pairs, e.g. "1s:120,1m:180,1h:168,1d:3650". Resolutions
+// accept Go durations plus a whole-day "d" unit.
+func parseRetention(spec string) ([]timeseries.LevelSpec, error) {
+	var levels []timeseries.LevelSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		res, count, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("level %q: want resolution:buckets", part)
+		}
+		d, err := timeseries.ParseDuration(res)
+		if err != nil {
+			return nil, fmt.Errorf("level %q: %w", part, err)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil {
+			return nil, fmt.Errorf("level %q: bucket count %q is not an integer", part, count)
+		}
+		levels = append(levels, timeseries.LevelSpec{Resolution: d, Buckets: n})
+	}
+	if err := timeseries.ValidateLevels(levels); err != nil {
+		return nil, err
+	}
+	return levels, nil
+}
+
+// yearlyEvolutionTable renders the live yearly breakdown as the paper-style
+// per-year table, via report.YearBuckets.
+func yearlyEvolutionTable(years []stream.YearStats) string {
+	samples, newC, active := report.NewYearBuckets(), report.NewYearBuckets(), report.NewYearBuckets()
+	for _, y := range years {
+		samples.AddN(y.Year, int(y.Samples))
+		newC.AddN(y.Year, y.NewCampaigns)
+		active.AddN(y.Year, y.ActiveCampaigns)
+	}
+	return report.YearlyEvolution("Yearly evolution (live series)",
+		[]string{"Samples", "New campaigns", "Active campaigns"},
+		[]*report.YearBuckets{samples, newC, active}).String()
 }
 
 // loadProbeEndpoints parses a -probe-http file: a JSON object mapping pool

@@ -6,6 +6,15 @@
 //	GET  /api/v1/campaigns      paginated campaign listing (limit/offset,
 //	                            filters: pool, wallet, min_xmr)
 //	GET  /api/v1/campaigns/{id} full campaign detail
+//	GET  /api/v1/campaigns/{id}/timeline
+//	                            the campaign's longitudinal series: sample
+//	                            arrivals, wallet sightings, priced-XMR
+//	                            deltas (params: metric, resolution, window)
+//	GET  /api/v1/timeseries     ecosystem longitudinal series (samples,
+//	                            kept, campaigns, xmr, pool:* shares) plus
+//	                            the data-time yearly-evolution breakdown
+//	                            (params: metric, resolution, window; 409
+//	                            when the daemon runs with -no-series)
 //	GET  /api/v1/results        final run summary (503 + Retry-After while
 //	                            the replay is still in flight)
 //	POST /api/v1/checkpoint     persist a snapshot now (409 when the daemon
@@ -128,6 +137,8 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/api/v1/stats", s.route(s.handleStats, http.MethodGet))
 	mux.Handle("/api/v1/campaigns", s.route(s.handleCampaigns, http.MethodGet))
 	mux.Handle("/api/v1/campaigns/{id}", s.route(s.handleCampaignDetail, http.MethodGet))
+	mux.Handle("/api/v1/campaigns/{id}/timeline", s.route(s.handleCampaignTimeline, http.MethodGet))
+	mux.Handle("/api/v1/timeseries", s.route(s.handleTimeseries, http.MethodGet))
 	mux.Handle("/api/v1/results", s.route(s.handleResults, http.MethodGet))
 	mux.Handle("/api/v1/checkpoint", s.route(s.handleCheckpoint, http.MethodPost))
 	mux.Handle("/api/v1/samples", s.route(s.handleSamples, http.MethodPost))

@@ -7,6 +7,7 @@ import (
 
 	"cryptomining/internal/model"
 	"cryptomining/internal/stream"
+	"cryptomining/internal/timeseries"
 	"cryptomining/pkg/apiv1"
 )
 
@@ -135,6 +136,57 @@ func EventToWire(ev stream.Event) apiv1.Event {
 		XMR:        ev.XMR,
 		USD:        ev.USD,
 		Error:      ev.Error,
+	}
+}
+
+// bucketsToWire converts one series' buckets to the wire shape. The result
+// is never nil, so every series serializes with an explicit buckets array.
+func bucketsToWire(bs []timeseries.Bucket) []apiv1.TimeseriesBucket {
+	out := make([]apiv1.TimeseriesBucket, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, apiv1.TimeseriesBucket{
+			Start: b.Start,
+			Count: b.Count,
+			Sum:   b.Sum,
+			Min:   b.Min,
+			Max:   b.Max,
+			Last:  b.Last,
+		})
+	}
+	return out
+}
+
+func seriesToWire(series []stream.MetricSeries) []apiv1.TimeseriesSeries {
+	out := make([]apiv1.TimeseriesSeries, 0, len(series))
+	for _, s := range series {
+		out = append(out, apiv1.TimeseriesSeries{Name: s.Name, Buckets: bucketsToWire(s.Buckets)})
+	}
+	return out
+}
+
+// TimeseriesToWire converts an ecosystem timeseries snapshot.
+func TimeseriesToWire(snap stream.TimeseriesSnapshot) apiv1.Timeseries {
+	out := apiv1.Timeseries{
+		ResolutionSeconds: snap.ResolutionSeconds,
+		Series:            seriesToWire(snap.Series),
+	}
+	for _, y := range snap.Years {
+		out.Years = append(out.Years, apiv1.YearStats{
+			Year:            y.Year,
+			Samples:         y.Samples,
+			NewCampaigns:    y.NewCampaigns,
+			ActiveCampaigns: y.ActiveCampaigns,
+		})
+	}
+	return out
+}
+
+// TimelineToWire converts one campaign's timeline snapshot.
+func TimelineToWire(id int, snap stream.TimeseriesSnapshot) apiv1.CampaignTimeline {
+	return apiv1.CampaignTimeline{
+		ID:                id,
+		ResolutionSeconds: snap.ResolutionSeconds,
+		Series:            seriesToWire(snap.Series),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cryptomining/internal/stream"
+	"cryptomining/internal/timeseries"
 	"cryptomining/pkg/apiv1"
 )
 
@@ -306,6 +307,84 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// parseTSQuery decodes the shared timeseries query parameters: metric (a
+// series name), resolution (a duration naming a configured level; "1d"
+// style day units accepted), window (a positive duration bounding the series
+// to the most recent span).
+func parseTSQuery(r *http.Request) (stream.TimeseriesQuery, error) {
+	q := stream.TimeseriesQuery{Metric: r.URL.Query().Get("metric")}
+	if raw := r.URL.Query().Get("resolution"); raw != "" {
+		d, err := timeseries.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return q, fmt.Errorf("invalid resolution=%q: want a positive duration like 1s, 1m, 1h or 1d", raw)
+		}
+		q.Resolution = d
+	}
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := timeseries.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return q, fmt.Errorf("invalid window=%q: want a positive duration like 10m, 6h or 30d", raw)
+		}
+		// Relative windows are resolved by the engine against its own
+		// recording clock, which may be injected and unrelated to ours.
+		q.Window = d
+	}
+	return q, nil
+}
+
+// writeTSError maps the engine's timeseries errors onto the envelope:
+// disabled subsystem is a daemon-configuration conflict (409), unknown
+// resolutions/metrics are client errors (400).
+func (s *Server) writeTSError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, stream.ErrTimeseriesDisabled):
+		s.error(w, http.StatusConflict, apiv1.CodeTimeseriesDisabled,
+			"timeseries disabled (run without -no-series)")
+	case errors.Is(err, stream.ErrUnknownResolution), errors.Is(err, stream.ErrUnknownMetric):
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+	default:
+		s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	q, err := parseTSQuery(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+		return
+	}
+	snap, err := s.cfg.Engine.Timeseries(q)
+	if err != nil {
+		s.writeTSError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, TimeseriesToWire(snap))
+}
+
+func (s *Server) handleCampaignTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest,
+			fmt.Sprintf("invalid campaign id %q: must be an integer", r.PathValue("id")))
+		return
+	}
+	q, err := parseTSQuery(r)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+		return
+	}
+	snap, ok, err := s.cfg.Engine.CampaignTimeline(id, q)
+	if err != nil {
+		s.writeTSError(w, err)
+		return
+	}
+	if !ok {
+		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Sprintf("no campaign with id %d", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, TimelineToWire(id, snap))
 }
 
 func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,10 @@ type IncrementalAggregator struct {
 
 	skippedDonations int
 	rebuilds         int
+
+	// onMerge, when set, observes component merges by stable key (see
+	// SetMergeHook).
+	onMerge func(winner, loser string)
 }
 
 // liveComponent is one connected component of the campaign graph, maintained
@@ -68,6 +72,44 @@ func nodeLess(a, b graph.NodeID) bool {
 	return a.Value < b.Value
 }
 
+// nodeKey encodes a node as a component-key string. Node kinds are fixed
+// words without NULs, so the separator keeps keys collision-free; the
+// encoding sorts exactly like nodeLess, and the key of a component is the
+// encoding of its minimum node.
+func nodeKey(n graph.NodeID) string { return string(n.Kind) + "\x00" + n.Value }
+
+// SetMergeHook registers a callback observing component merges: whenever two
+// live components merge, it receives the surviving component's key (its new
+// minimum node) and the key that disappeared. Keys are deterministic across
+// runs and across state export/restore, which lets external per-campaign
+// state (e.g. timeseries timelines) follow the partition exactly. The hook
+// runs synchronously inside Add.
+func (ia *IncrementalAggregator) SetMergeHook(fn func(winner, loser string)) { ia.onMerge = fn }
+
+// ComponentKey returns the stable key of the component containing the sample
+// hash (under either node kind a sample can appear as), or false when the
+// hash is not in the partition.
+func (ia *IncrementalAggregator) ComponentKey(sha string) (string, bool) {
+	for _, kind := range []model.NodeKind{model.NodeSample, model.NodeAncillary} {
+		n := graph.NodeID{Kind: kind, Value: sha}
+		if ia.graph.HasNode(n) {
+			return nodeKey(ia.comps[ia.find(n)].minNode), true
+		}
+	}
+	return "", false
+}
+
+// WalletComponentKey returns the stable key of the component containing the
+// wallet identifier, or false when the wallet is not a grouping node (e.g.
+// donation wallets, or wallet grouping disabled).
+func (ia *IncrementalAggregator) WalletComponentKey(wallet string) (string, bool) {
+	n := graph.NodeID{Kind: model.NodeWallet, Value: wallet}
+	if !ia.graph.HasNode(n) {
+		return "", false
+	}
+	return nodeKey(ia.comps[ia.find(n)].minNode), true
+}
+
 // find returns the root of x's component, creating a singleton component for
 // unseen nodes.
 func (ia *IncrementalAggregator) find(x graph.NodeID) graph.NodeID {
@@ -93,11 +135,16 @@ func (ia *IncrementalAggregator) union(a, b graph.NodeID) graph.NodeID {
 	for kind, values := range cb.byKind {
 		ca.byKind[kind] = append(ca.byKind[kind], values...)
 	}
+	winner, loser := ca.minNode, cb.minNode
 	if nodeLess(cb.minNode, ca.minNode) {
+		winner, loser = cb.minNode, ca.minNode
 		ca.minNode = cb.minNode
 	}
 	ca.campaign = nil
 	delete(ia.comps, absorbed)
+	if ia.onMerge != nil {
+		ia.onMerge(nodeKey(winner), nodeKey(loser))
+	}
 	return root
 }
 

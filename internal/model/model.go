@@ -347,12 +347,20 @@ type Campaign struct {
 	GroundTruthIDs []int
 }
 
-// DurationYears returns the number of whole years between FirstSeen and LastSeen.
+// DurationYears returns the number of whole calendar years between FirstSeen
+// and LastSeen: the largest n with FirstSeen + n years <= LastSeen. Calendar
+// arithmetic (not division by a fixed 365-day year) keeps multi-year
+// campaigns from drifting across leap years — a span from 2008-01-01 to
+// 2020-12-31 is 12 whole years, even though it covers more than 13*365 days.
 func (c *Campaign) DurationYears() int {
 	if c.FirstSeen.IsZero() || c.LastSeen.IsZero() || c.LastSeen.Before(c.FirstSeen) {
 		return 0
 	}
-	return int(c.LastSeen.Sub(c.FirstSeen).Hours() / (24 * 365))
+	years := c.LastSeen.Year() - c.FirstSeen.Year()
+	if years > 0 && c.FirstSeen.AddDate(years, 0, 0).After(c.LastSeen) {
+		years--
+	}
+	return years
 }
 
 // ProfitBucket classifies a campaign by the amount of XMR mined, matching the

@@ -102,6 +102,38 @@ func TestCampaignDurationYears(t *testing.T) {
 	}
 }
 
+// TestCampaignDurationYearsCalendar is the leap-year regression: whole years
+// are calendar years, not 365-day blocks. The old hours/(24*365) division
+// accumulated one spurious day per leap year crossed, misbucketing
+// multi-year campaigns near year boundaries.
+func TestCampaignDurationYearsCalendar(t *testing.T) {
+	cases := []struct {
+		firstSeen time.Time
+		lastSeen  time.Time
+		want      int
+	}{
+		// 12 whole calendar years, but >13*365 days: the division said 13.
+		{firstSeen: Date(2008, 1, 1), lastSeen: Date(2020, 12, 31), want: 12},
+		// Exactly one year across a leap day.
+		{firstSeen: Date(2016, 2, 1), lastSeen: Date(2017, 2, 1), want: 1},
+		// One day short of a year across a leap day.
+		{firstSeen: Date(2016, 3, 1), lastSeen: Date(2017, 2, 28), want: 0},
+		// Anniversary day itself counts as a whole year.
+		{firstSeen: Date(2014, 8, 30), lastSeen: Date(2019, 8, 30), want: 5},
+		// The day before the anniversary does not.
+		{firstSeen: Date(2014, 8, 30), lastSeen: Date(2019, 8, 29), want: 4},
+		// Same day: zero.
+		{firstSeen: Date(2015, 6, 1), lastSeen: Date(2015, 6, 1), want: 0},
+	}
+	for _, tc := range cases {
+		c := Campaign{FirstSeen: tc.firstSeen, LastSeen: tc.lastSeen}
+		if got := c.DurationYears(); got != tc.want {
+			t.Errorf("DurationYears(%s..%s) = %d, want %d",
+				tc.firstSeen.Format("2006-01-02"), tc.lastSeen.Format("2006-01-02"), got, tc.want)
+		}
+	}
+}
+
 func TestSortStrings(t *testing.T) {
 	in := []string{"b", "a", "b", "c", "a"}
 	out := SortStrings(in)

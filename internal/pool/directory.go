@@ -2,6 +2,7 @@ package pool
 
 import (
 	"sort"
+	"strings"
 
 	"cryptomining/internal/model"
 	"cryptomining/internal/pow"
@@ -117,6 +118,16 @@ func (d *Directory) Transparent() []*Pool {
 		}
 	}
 	return out
+}
+
+// HostOfEndpoint strips the :port suffix from a mining endpoint
+// ("host:port" -> "host"). The one place this parsing lives, so the keep
+// decision and the per-pool telemetry can never disagree on it.
+func HostOfEndpoint(endpoint string) string {
+	if i := strings.LastIndex(endpoint, ":"); i > 0 {
+		return endpoint[:i]
+	}
+	return endpoint
 }
 
 // PoolForDomain returns the pool a domain belongs to (matching the domain or

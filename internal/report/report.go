@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -170,6 +171,39 @@ func (y *YearBuckets) Total() int {
 		total += c
 	}
 	return total
+}
+
+// YearlyEvolution renders the paper-style per-year evolution table from
+// parallel YearBuckets columns: one row per calendar year covered by any
+// column (sorted), one column per name, plus a totals row. Used by the
+// streaming daemon to render the longitudinal breakdown served at
+// /api/v1/timeseries as diffable text.
+func YearlyEvolution(title string, names []string, cols []*YearBuckets) *Table {
+	t := NewTable(title, append([]string{"Year"}, names...)...)
+	yearSet := map[int]bool{}
+	for _, c := range cols {
+		for _, y := range c.Years() {
+			yearSet[y] = true
+		}
+	}
+	years := make([]int, 0, len(yearSet))
+	for y := range yearSet {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		cells := []string{strconv.Itoa(y)}
+		for _, c := range cols {
+			cells = append(cells, strconv.Itoa(c.Count(y)))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"total"}
+	for _, c := range cols {
+		cells = append(cells, strconv.Itoa(c.Total()))
+	}
+	t.AddRow(cells...)
+	return t
 }
 
 // Counter is a string-keyed counter with sorted output, used for the

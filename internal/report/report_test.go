@@ -103,6 +103,82 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+// TestEdgeCases pins the less-traveled paths: zero-whole percentages, the
+// zero-time skip (no phantom year-1 bucket), strict Years() ordering under
+// adversarial insertion order, and full tie-breaking in Counter.Top
+// (count-descending, then key-ascending, stable under truncation).
+func TestEdgeCases(t *testing.T) {
+	// Percent with a zero whole never divides; zero parts format plainly.
+	if got := Percent(0, 0); got != "0.0%" {
+		t.Errorf("Percent(0,0) = %q", got)
+	}
+	if got := Percent(0, 50); got != "0.0%" {
+		t.Errorf("Percent(0,50) = %q", got)
+	}
+
+	// Zero times must not create a bucket at all — not even year 1.
+	y := NewYearBuckets()
+	y.Add(time.Time{})
+	if len(y.Years()) != 0 || y.Total() != 0 {
+		t.Errorf("zero time created buckets: years=%v total=%d", y.Years(), y.Total())
+	}
+	// Years() sorts regardless of insertion order.
+	for _, yr := range []int{2019, 2007, 2013, 2024, 2011} {
+		y.AddN(yr, 1)
+	}
+	years := y.Years()
+	for i := 1; i < len(years); i++ {
+		if years[i-1] >= years[i] {
+			t.Fatalf("Years() not strictly ascending: %v", years)
+		}
+	}
+
+	// Top ties: equal counts order by key ascending, and truncation keeps
+	// that order (no unstable pair swapping at the cut).
+	c := NewCounter()
+	for _, k := range []string{"delta", "bravo", "echo", "alpha", "charlie"} {
+		c.AddN(k, 7)
+	}
+	c.AddN("zulu", 9)
+	top := c.Top(3)
+	if len(top) != 3 || top[0].Key != "zulu" || top[1].Key != "alpha" || top[2].Key != "bravo" {
+		t.Errorf("Top(3) = %v", top)
+	}
+	all := c.Top(0)
+	wantOrder := []string{"zulu", "alpha", "bravo", "charlie", "delta", "echo"}
+	for i, e := range all {
+		if e.Key != wantOrder[i] {
+			t.Fatalf("Top(0)[%d] = %q, want %q (full: %v)", i, e.Key, wantOrder[i], all)
+		}
+	}
+	// n past the end returns everything.
+	if got := c.Top(100); len(got) != 6 {
+		t.Errorf("Top(100) = %d entries", len(got))
+	}
+}
+
+// TestYearlyEvolutionGolden pins the rendered per-year evolution table.
+func TestYearlyEvolutionGolden(t *testing.T) {
+	samples, newC := NewYearBuckets(), NewYearBuckets()
+	samples.AddN(2017, 120)
+	samples.AddN(2018, 340)
+	newC.AddN(2018, 4)
+	newC.AddN(2016, 1)
+	got := YearlyEvolution("Yearly evolution", []string{"Samples", "New"}, []*YearBuckets{samples, newC}).String()
+	// Note: the table renderer pads every cell to its column width, so data
+	// rows carry trailing spaces up to the "New" column's width.
+	want := "Yearly evolution\n" +
+		"Year   Samples  New\n" +
+		"-----  -------  ---\n" +
+		"2016   0        1  \n" +
+		"2017   120      0  \n" +
+		"2018   340      4  \n" +
+		"total  460      5  \n"
+	if got != want {
+		t.Errorf("rendered table:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestPercent(t *testing.T) {
 	if got := Percent(4.37, 100); got != "4.4%" {
 		t.Errorf("Percent = %q", got)

@@ -2,11 +2,15 @@ package stream
 
 import (
 	"sort"
+	"strings"
+	"time"
 
 	"cryptomining/internal/campaign"
 	"cryptomining/internal/graph"
 	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
 	"cryptomining/internal/profit"
+	"cryptomining/internal/timeseries"
 )
 
 // collector owns every piece of cross-sample state the batch pipeline
@@ -68,6 +72,11 @@ type collector struct {
 	// finalized flips once finalize has sealed the results; late probe
 	// updates (forced refreshes) must no longer touch shared campaign state.
 	finalized bool
+	// now is the timeseries recording timestamp for the event currently
+	// being collected; the engine reads its clock once per event (collected
+	// sample or probe completion) so every series point the event records
+	// shares one timestamp. Unused when the timeseries store is disabled.
+	now time.Time
 }
 
 // pricedTotals is one wallet's contribution to the live profit counters.
@@ -100,6 +109,12 @@ func newCollector(e *Engine) *collector {
 		c.collect = e.cfg.Prober.CollectWallet
 	} else {
 		c.collect = c.wallets.CollectWallet
+	}
+	if e.ts != nil {
+		// Campaign timelines are keyed by the partition's stable component
+		// keys; when components merge, the timelines merge with them, so a
+		// campaign's timeline always covers its full constituent history.
+		c.agg.SetMergeHook(e.ts.MergeTimeline)
 	}
 	return c
 }
@@ -267,6 +282,18 @@ func (c *collector) keep(o *SampleOutcome) {
 	}
 	c.e.stats.campaigns.Store(int64(c.agg.Len()))
 
+	if ts := c.e.ts; ts != nil {
+		ts.Record(timeseries.SeriesKept, c.now, 1)
+		ts.Record(timeseries.SeriesCampaigns, c.now, float64(c.agg.Len()))
+		if pn := c.poolNameOf(&o.Record); pn != "" {
+			ts.Record(timeseries.PoolSeriesPrefix+pn, c.now, 1)
+		}
+		ts.RecordYear(o.Record.FirstSeen)
+		if key, ok := c.agg.ComponentKey(o.Record.SHA256); ok {
+			ts.RecordTimeline(key, timeseries.TimelineSamples, c.now, 1)
+		}
+	}
+
 	// Live profit running totals: first sighting of a wallet. With a prober
 	// the pool queries leave the hot path — the sighting only enqueues an
 	// asynchronous probe, and totals land when it completes (immediately, if
@@ -275,6 +302,11 @@ func (c *collector) keep(o *SampleOutcome) {
 	if o.Record.HasIdentifier() && !c.seenWallets[o.Record.User] {
 		wallet := o.Record.User
 		c.seenWallets[wallet] = true
+		if ts := c.e.ts; ts != nil {
+			if key, ok := c.agg.WalletComponentKey(wallet); ok {
+				ts.RecordTimeline(key, timeseries.TimelineWallets, c.now, 1)
+			}
+		}
 		if p := c.e.cfg.Prober; p != nil {
 			p.Enqueue(wallet)
 			if ent, ok := p.Peek(wallet); ok {
@@ -284,6 +316,7 @@ func (c *collector) keep(o *SampleOutcome) {
 			act := c.wallets.CollectWallet(wallet)
 			c.e.stats.wallets.Add(1)
 			c.e.stats.addLiveProfit(act.TotalXMR, act.TotalUSD)
+			c.recordProfitTS(wallet, act.TotalXMR)
 		}
 	}
 
@@ -296,6 +329,27 @@ func (c *collector) keep(o *SampleOutcome) {
 		Campaigns:  c.agg.Len(),
 		Kept:       int(c.e.stats.kept.Load()),
 	})
+}
+
+// poolNameOf resolves the normalized pool a kept record mines at, for the
+// per-pool share series: the extracted name when present, else a directory
+// lookup on the mining endpoint's host. Records mining through proxies or
+// unknown endpoints resolve to nothing and contribute to no pool series.
+func (c *collector) poolNameOf(rec *model.Record) string {
+	if rec.Pool != "" {
+		return rec.Pool
+	}
+	if rec.URLPool == "" {
+		return ""
+	}
+	// Same host extraction + lowercase as the keep-decision path
+	// (contactsKnownPool) — a mixed-case endpoint that was kept as a miner
+	// must contribute to its pool's share too.
+	host := strings.ToLower(pool.HostOfEndpoint(rec.URLPool))
+	if p, ok := c.e.cfg.Pools.PoolForDomain(host); ok {
+		return p.Name
+	}
+	return ""
 }
 
 // applyProbedActivity folds one probed wallet's cross-pool totals into the
@@ -314,6 +368,24 @@ func (c *collector) applyProbedActivity(wallet string, act profit.WalletActivity
 	}
 	c.e.stats.addLiveProfit(act.TotalXMR-prev.xmr, act.TotalUSD-prev.usd)
 	c.pricedProfit[wallet] = pricedTotals{xmr: act.TotalXMR, usd: act.TotalUSD}
+	c.recordProfitTS(wallet, act.TotalXMR-prev.xmr)
+}
+
+// recordProfitTS folds one wallet's priced-XMR delta into the longitudinal
+// series: the ecosystem running-total gauge, and the timeline of the
+// campaign the wallet belongs to. Zero deltas record nothing, which is what
+// keeps a checkpoint-restore's delta reconciliation (re-applying cached
+// activities as no-op deltas) from perturbing the restored series. Called
+// under e.mu.
+func (c *collector) recordProfitTS(wallet string, deltaXMR float64) {
+	ts := c.e.ts
+	if ts == nil || deltaXMR == 0 {
+		return
+	}
+	ts.Record(timeseries.SeriesXMR, c.now, c.e.stats.liveXMR())
+	if key, ok := c.agg.WalletComponentKey(wallet); ok {
+		ts.RecordTimeline(key, timeseries.TimelineXMR, c.now, deltaXMR)
+	}
 }
 
 // relFind returns the relation-component root of a sample hash.

@@ -16,7 +16,9 @@ import (
 	"cryptomining/internal/model"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/profit"
+	"cryptomining/internal/report"
 	"cryptomining/internal/static"
+	"cryptomining/internal/timeseries"
 )
 
 // ErrNotStarted is returned by Submit/Finish before Start.
@@ -47,6 +49,11 @@ type Engine struct {
 	// snapshots, finalize, state export).
 	mu  sync.Mutex
 	col *collector
+
+	// ts is the longitudinal metrics store (nil when disabled). It is
+	// guarded by mu alongside the collector state it is recorded with, so
+	// the hot path takes no additional lock.
+	ts *timeseries.Store
 
 	// ackLow / ackAbove track which submission sequence numbers (SubmitSeq)
 	// the collector has fully processed: everything below ackLow, plus the
@@ -98,6 +105,16 @@ func New(cfg Config) *Engine {
 		ackAbove: map[uint64]struct{}{},
 		subs:     map[int]chan Event{},
 	}
+	if !cfg.Timeseries.Disabled {
+		ts, err := timeseries.NewStore(cfg.Timeseries.Levels)
+		if err != nil {
+			// A malformed retention ladder is a configuration programming
+			// error; callers taking ladders from user input validate with
+			// timeseries.ValidateLevels first.
+			panic(err)
+		}
+		e.ts = ts
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		e.shards = append(e.shards, newShard(e))
 	}
@@ -119,6 +136,9 @@ func (e *Engine) onProbeUpdate(u probe.Update) {
 	if e.col.finalized {
 		e.mu.Unlock()
 		return
+	}
+	if e.ts != nil {
+		e.col.now = e.cfg.Timeseries.Clock()
 	}
 	if e.col.seenWallets[u.Wallet] {
 		e.col.applyProbedActivity(u.Wallet, u.Activity)
@@ -241,12 +261,21 @@ func (e *Engine) collect(ctx context.Context) {
 				return
 			}
 			e.mu.Lock()
+			// One clock read covers every series point this sample records
+			// (arrival, keep, retroactive keeps it triggers), keeping the
+			// recorded sequence deterministic for a deterministic feed.
+			if e.ts != nil {
+				e.col.now = e.cfg.Timeseries.Clock()
+			}
 			// Re-observed hashes count as duplicates (inside handle), not as
 			// analyzed throughput. The counter bump and the sequence ack stay
 			// under the mutex so a concurrent state export sees counters,
 			// watermark and collector state move as one.
 			if e.col.handle(it) {
 				e.stats.analyzed.Add(1)
+				if e.ts != nil {
+					e.ts.Record(timeseries.SeriesSamples, e.col.now, 1)
+				}
 			}
 			if it.seq != 0 {
 				e.ackSeq(it.seq)
@@ -555,6 +584,236 @@ func (e *Engine) HasSample(sha string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.col.outcomes[lowerHash(sha)]
 	return ok
+}
+
+// ErrTimeseriesDisabled is returned by the timeseries queries when the
+// engine runs with Config.Timeseries.Disabled.
+var ErrTimeseriesDisabled = errors.New("stream: timeseries disabled")
+
+// ErrUnknownResolution is returned when a timeseries query names a
+// resolution the retention ladder has no level for.
+var ErrUnknownResolution = errors.New("stream: no timeseries level at that resolution")
+
+// ErrUnknownMetric is returned when a timeseries query names a metric that
+// does not exist.
+var ErrUnknownMetric = errors.New("stream: no such timeseries metric")
+
+// TimeseriesQuery selects a window of the longitudinal series.
+type TimeseriesQuery struct {
+	// Metric optionally restricts the result to one series (ecosystem
+	// queries) or one timeline metric (campaign queries).
+	Metric string
+	// Resolution selects the retention level (0 = the finest configured).
+	Resolution time.Duration
+	// Window bounds the series to the most recent span, resolved against
+	// the engine's own recording clock (Config.Timeseries.Clock) — not the
+	// caller's wall clock, which may be unrelated when the clock is
+	// injected. Overrides From when set.
+	Window time.Duration
+	// From / To bound bucket start times (Unix seconds; 0 = open end).
+	From, To int64
+}
+
+// MetricSeries is one named series of a timeseries snapshot.
+type MetricSeries struct {
+	Name    string
+	Buckets []timeseries.Bucket
+}
+
+// YearStats is one calendar year of the data-time evolution breakdown.
+type YearStats struct {
+	Year int
+	// Samples counts kept samples first seen (data time) in the year.
+	Samples int64
+	// NewCampaigns counts campaigns whose activity started in the year;
+	// ActiveCampaigns counts campaigns whose first-seen..last-seen span
+	// covers it.
+	NewCampaigns    int
+	ActiveCampaigns int
+}
+
+// TimeseriesSnapshot is the result of a timeseries query: the selected
+// series at one resolution, plus (for ecosystem queries) the paper-style
+// yearly-evolution breakdown over data time.
+type TimeseriesSnapshot struct {
+	ResolutionSeconds int64
+	Series            []MetricSeries
+	Years             []YearStats
+}
+
+// resolveTSQuery validates the query against the store's ladder and
+// resolves a relative window into an absolute From bound on the engine's
+// recording clock. Caller must hold e.mu and have checked e.ts != nil.
+func (e *Engine) resolveTSQuery(q TimeseriesQuery) (TimeseriesQuery, error) {
+	if q.Resolution == 0 {
+		q.Resolution = e.ts.FinestResolution()
+	}
+	if !e.ts.HasResolution(q.Resolution) {
+		return q, fmt.Errorf("%w: %v (configured: %v)", ErrUnknownResolution, q.Resolution, availableResolutions(e.ts))
+	}
+	if q.Window > 0 {
+		from := e.cfg.Timeseries.Clock().Add(-q.Window).Unix()
+		// Align down to the level's bucket boundary so the bucket covering
+		// the window start is included — otherwise any window shorter than
+		// the elapsed part of the open bucket would filter out the very
+		// bucket holding the newest data.
+		sec := int64(q.Resolution / time.Second)
+		from -= ((from % sec) + sec) % sec
+		q.From = from
+	}
+	return q, nil
+}
+
+func availableResolutions(ts *timeseries.Store) []time.Duration {
+	var out []time.Duration
+	for _, sp := range ts.Levels() {
+		out = append(out, sp.Resolution)
+	}
+	return out
+}
+
+// Timeseries snapshots the ecosystem-wide longitudinal series: sample and
+// keep arrivals, the campaign-partition gauge, the priced-XMR gauge and the
+// per-pool share counters, windowed by the query. Unfiltered queries (no
+// Metric) additionally carry the yearly-evolution breakdown (over data
+// time, unaffected by the window); metric-filtered queries omit it, keeping
+// the polling shape cheap.
+func (e *Engine) Timeseries(q TimeseriesQuery) (TimeseriesSnapshot, error) {
+	if e.ts == nil {
+		return TimeseriesSnapshot{}, ErrTimeseriesDisabled
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, err := e.resolveTSQuery(q)
+	if err != nil {
+		return TimeseriesSnapshot{}, err
+	}
+	names := e.ts.SeriesNames()
+	if q.Metric != "" {
+		// Series materialize lazily on first record; a known metric that
+		// simply has no data yet answers an empty series, not an error.
+		if !slices.Contains(names, q.Metric) && !timeseries.KnownEcosystemMetric(q.Metric) {
+			return TimeseriesSnapshot{}, fmt.Errorf("%w: %q (known: %s, %s, %s, %s, %s<name>)",
+				ErrUnknownMetric, q.Metric,
+				timeseries.SeriesSamples, timeseries.SeriesKept, timeseries.SeriesCampaigns,
+				timeseries.SeriesXMR, timeseries.PoolSeriesPrefix)
+		}
+		names = []string{q.Metric}
+	}
+	snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second)}
+	for _, name := range names {
+		buckets, _ := e.ts.Buckets(name, q.Resolution, q.From, q.To)
+		snap.Series = append(snap.Series, MetricSeries{Name: name, Buckets: buckets})
+	}
+	if q.Metric == "" {
+		// The yearly breakdown walks the full campaign partition
+		// (agg.Snapshot) under the engine mutex; metric-filtered queries are
+		// the high-frequency polling shape, so they skip it and stay cheap
+		// for the collector.
+		snap.Years = e.yearStatsLocked()
+	}
+	return snap, nil
+}
+
+// yearStatsLocked assembles the data-time yearly breakdown: kept samples per
+// first-seen year from the series store, campaign starts and activity spans
+// from the live partition — the live equivalent of the paper's yearly
+// evolution tables, bucketed via report.YearBuckets. Caller must hold e.mu.
+func (e *Engine) yearStatsLocked() []YearStats {
+	newC, active := report.NewYearBuckets(), report.NewYearBuckets()
+	for _, c := range e.col.agg.Snapshot().Campaigns {
+		newC.Add(c.FirstSeen)
+		if c.FirstSeen.IsZero() || c.LastSeen.Before(c.FirstSeen) {
+			continue
+		}
+		for y := c.FirstSeen.Year(); y <= c.LastSeen.Year(); y++ {
+			active.AddN(y, 1)
+		}
+	}
+	samples := map[int]int64{}
+	for _, yc := range e.ts.Years() {
+		samples[yc.Year] = yc.Samples
+	}
+	yearSet := map[int]bool{}
+	for y := range samples {
+		yearSet[y] = true
+	}
+	for _, y := range newC.Years() {
+		yearSet[y] = true
+	}
+	for _, y := range active.Years() {
+		yearSet[y] = true
+	}
+	years := make([]int, 0, len(yearSet))
+	for y := range yearSet {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearStats, 0, len(years))
+	for _, y := range years {
+		out = append(out, YearStats{
+			Year:            y,
+			Samples:         samples[y],
+			NewCampaigns:    newC.Count(y),
+			ActiveCampaigns: active.Count(y),
+		})
+	}
+	return out
+}
+
+// CampaignTimeline snapshots one campaign's longitudinal series (sample
+// arrivals, wallet first sightings, priced-XMR deltas), windowed by the
+// query. The boolean is false when no campaign has the given snapshot ID.
+// Timelines follow the campaign through partition merges, so a merged
+// campaign's timeline covers the full history of all its constituents.
+func (e *Engine) CampaignTimeline(id int, q TimeseriesQuery) (TimeseriesSnapshot, bool, error) {
+	if e.ts == nil {
+		return TimeseriesSnapshot{}, false, ErrTimeseriesDisabled
+	}
+	timelineMetrics := []string{timeseries.TimelineSamples, timeseries.TimelineWallets, timeseries.TimelineXMR}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, err := e.resolveTSQuery(q)
+	if err != nil {
+		return TimeseriesSnapshot{}, false, err
+	}
+	metrics := timelineMetrics
+	if q.Metric != "" {
+		if !slices.Contains(timelineMetrics, q.Metric) {
+			return TimeseriesSnapshot{}, false, fmt.Errorf("%w: %q (timeline metrics: %s)",
+				ErrUnknownMetric, q.Metric, strings.Join(timelineMetrics, ", "))
+		}
+		metrics = []string{q.Metric}
+	}
+	for _, c := range e.col.agg.Snapshot().Campaigns {
+		if c.ID != id {
+			continue
+		}
+		var key string
+		var ok bool
+		for _, sha := range c.Samples {
+			if key, ok = e.col.agg.ComponentKey(sha); ok {
+				break
+			}
+		}
+		if !ok {
+			for _, sha := range c.Ancillaries {
+				if key, ok = e.col.agg.ComponentKey(sha); ok {
+					break
+				}
+			}
+		}
+		snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second)}
+		for _, metric := range metrics {
+			var buckets []timeseries.Bucket
+			if ok {
+				buckets, _ = e.ts.TimelineBuckets(key, metric, q.Resolution, q.From, q.To)
+			}
+			snap.Series = append(snap.Series, MetricSeries{Name: metric, Buckets: buckets})
+		}
+		return snap, true, nil
+	}
+	return TimeseriesSnapshot{}, false, nil
 }
 
 // Stats returns a live snapshot of the engine's counters.

@@ -8,6 +8,7 @@ import (
 	"cryptomining/internal/dnssim"
 	"cryptomining/internal/extract"
 	"cryptomining/internal/model"
+	"cryptomining/internal/pool"
 	"cryptomining/internal/sandbox"
 	"cryptomining/internal/static"
 )
@@ -224,11 +225,7 @@ func (s *shard) contactsKnownPool(rec *model.Record) bool {
 		}
 	}
 	if rec.URLPool != "" {
-		host := rec.URLPool
-		if i := strings.LastIndex(host, ":"); i > 0 {
-			host = host[:i]
-		}
-		if check(host) {
+		if check(pool.HostOfEndpoint(rec.URLPool)) {
 			return true
 		}
 	}

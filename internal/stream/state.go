@@ -8,6 +8,7 @@ import (
 	"cryptomining/internal/campaign"
 	"cryptomining/internal/graph"
 	"cryptomining/internal/probe"
+	"cryptomining/internal/timeseries"
 )
 
 // EngineState is a self-contained snapshot of everything the engine must
@@ -66,6 +67,10 @@ type EngineState struct {
 	// restarted daemon re-probe only TTL-expired wallets instead of
 	// re-hammering every pool for the whole set.
 	Probe *probe.CacheState
+	// Timeseries is the longitudinal metrics store (nil when the subsystem
+	// is disabled). Its canonical form is already sorted/unrolled, so it
+	// rides the same same-state-same-bytes guarantee as the rest.
+	Timeseries *timeseries.State
 	// Counters carries the live stats so uptime, throughput and running
 	// totals span restarts.
 	Counters CounterState
@@ -176,6 +181,9 @@ func (e *Engine) ExportState() *EngineState {
 	if e.cfg.Prober != nil {
 		st.Probe = e.cfg.Prober.ExportCache()
 	}
+	if e.ts != nil {
+		st.Timeseries = e.ts.Export()
+	}
 
 	st.Counters = CounterState{
 		Submitted:   e.stats.submitted.Load(),
@@ -273,6 +281,15 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		c.pricedProfit[p.Wallet] = pricedTotals{xmr: p.XMR, usd: p.USD}
 	}
 
+	// Restore the series after the aggregator: rebuilding the partition may
+	// fire timeline-merge hooks, which must not touch restored timelines
+	// (they are no-ops against the still-empty store this early).
+	if e.ts != nil && st.Timeseries != nil {
+		if err := e.ts.Restore(st.Timeseries); err != nil {
+			return fmt.Errorf("stream: restore timeseries: %w", err)
+		}
+	}
+
 	cs := st.Counters
 	// The submitted counter may have included samples that were still
 	// in-flight at snapshot time; those will be re-submitted from the WAL
@@ -306,7 +323,12 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		// in the cache but not yet in the priced totals. Reconcile by
 		// re-applying every cached activity for a seen wallet — deltas, so
 		// already-applied entries are no-ops (this runs after the counter
-		// restore above, which it adjusts).
+		// restore above, which it adjusts). A non-zero delta records series
+		// points, so stamp the recording clock first — otherwise they would
+		// land in a bucket at the zero time (year 1).
+		if e.ts != nil {
+			c.now = e.cfg.Timeseries.Clock()
+		}
 		for _, w := range st.SeenWallets {
 			if ent, ok := p.Peek(w); ok {
 				c.applyProbedActivity(w, ent.Activity)

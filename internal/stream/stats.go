@@ -60,6 +60,9 @@ func (c *counters) addLiveProfit(xmr, usd float64) {
 	c.liveUSDBits.Store(math.Float64bits(math.Float64frombits(c.liveUSDBits.Load()) + usd))
 }
 
+// liveXMR reads the running XMR total.
+func (c *counters) liveXMR() float64 { return math.Float64frombits(c.liveXMRBits.Load()) }
+
 // StageStats is the live latency profile of one stage, aggregated across
 // shards.
 type StageStats struct {

@@ -39,6 +39,7 @@ import (
 	"cryptomining/internal/pow"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/profit"
+	"cryptomining/internal/timeseries"
 )
 
 // AVProvider supplies antivirus reports for samples. Implementations must be
@@ -84,6 +85,12 @@ type Config struct {
 	// queue exerts backpressure on Submit.
 	QueueDepth int
 
+	// Timeseries configures the longitudinal metrics subsystem
+	// (internal/timeseries): multi-resolution windowed series maintained by
+	// the collector and queryable at any time via Engine.Timeseries /
+	// Engine.CampaignTimeline. Enabled by default; see TimeseriesOptions.
+	Timeseries TimeseriesOptions
+
 	// Prober, when set, makes wallet-statistics collection asynchronous: the
 	// collector's first sighting of a wallet enqueues a probe instead of
 	// querying Pools synchronously under the collector lock, live profit is
@@ -93,6 +100,21 @@ type Config struct {
 	// bit-identical to the synchronous batch path. Nil keeps the historical
 	// in-line collection.
 	Prober *probe.Scheduler
+}
+
+// TimeseriesOptions configures the engine's longitudinal metrics.
+type TimeseriesOptions struct {
+	// Disabled turns the subsystem off entirely: nothing is recorded, the
+	// timeseries queries return ErrTimeseriesDisabled, and ingestion pays
+	// zero overhead.
+	Disabled bool
+	// Levels is the retention ladder (nil = timeseries.DefaultLevels). It
+	// bounds memory: each series holds a fixed number of buckets per level
+	// regardless of run length.
+	Levels []timeseries.LevelSpec
+	// Clock supplies recording timestamps (nil = time.Now). Injectable so
+	// tests can drive the series deterministically.
+	Clock func() time.Time
 }
 
 // withDefaults fills optional dependencies exactly like the batch pipeline
@@ -121,6 +143,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
+	}
+	if cfg.Timeseries.Clock == nil {
+		cfg.Timeseries.Clock = time.Now
 	}
 	return cfg
 }

@@ -23,6 +23,7 @@ const (
 	CodeInternal            = "internal"
 	CodeProbeDisabled       = "probe_disabled"
 	CodeFinishUnavailable   = "finish_unavailable"
+	CodeTimeseriesDisabled  = "timeseries_disabled"
 )
 
 // Error is the body of the uniform error envelope.
@@ -241,3 +242,67 @@ type ProbeStats struct {
 type ProbeRefresh struct {
 	Requeued int `json:"requeued"`
 }
+
+// TimeseriesBucket is one aggregation window of a longitudinal series
+// (GET /api/v1/timeseries): Count/Sum serve counter-style reads (arrivals,
+// deltas), Last/Min/Max gauge-style reads (partition size, running totals).
+type TimeseriesBucket struct {
+	// Start is the window's begin time (Unix seconds, aligned to the
+	// resolution).
+	Start int64   `json:"start"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+}
+
+// TimeseriesSeries is one named metric of a timeseries response, with its
+// retained buckets oldest first.
+type TimeseriesSeries struct {
+	Name    string             `json:"name"`
+	Buckets []TimeseriesBucket `json:"buckets"`
+}
+
+// YearStats is one calendar year of the data-time yearly-evolution
+// breakdown (the live equivalent of the paper's per-year tables).
+type YearStats struct {
+	Year int `json:"year"`
+	// Samples counts kept samples first seen (data time) in the year.
+	Samples int64 `json:"samples"`
+	// NewCampaigns counts campaigns whose activity started in the year;
+	// ActiveCampaigns counts campaigns whose activity span covers it.
+	NewCampaigns    int `json:"new_campaigns"`
+	ActiveCampaigns int `json:"active_campaigns"`
+}
+
+// Timeseries is the ecosystem-wide longitudinal snapshot
+// (GET /api/v1/timeseries). Query parameters: metric (one series; default
+// all), resolution (a configured level, e.g. 1s/1m/1h/1d; default finest),
+// window (a duration bounding the series to the most recent span).
+type Timeseries struct {
+	ResolutionSeconds int64              `json:"resolution_seconds"`
+	Series            []TimeseriesSeries `json:"series"`
+	// Years is the data-time yearly breakdown. It is served only on
+	// unfiltered queries (no metric parameter) and is unaffected by the
+	// resolution/window parameters.
+	Years []YearStats `json:"years,omitempty"`
+}
+
+// CampaignTimeline is one campaign's longitudinal view
+// (GET /api/v1/campaigns/{id}/timeline): sample arrivals, wallet first
+// sightings, and priced-XMR deltas from completed probes. Same query
+// parameters as Timeseries. Timelines follow campaign merges, so a merged
+// campaign's timeline covers the history of all its constituents.
+type CampaignTimeline struct {
+	ID                int                `json:"id"`
+	ResolutionSeconds int64              `json:"resolution_seconds"`
+	Series            []TimeseriesSeries `json:"series"`
+}
+
+// Timeline metric names served in CampaignTimeline.Series.
+const (
+	TimelineSamples = "samples"
+	TimelineWallets = "wallets"
+	TimelineXMR     = "xmr"
+)

@@ -248,6 +248,51 @@ func (c *Client) Finish(ctx context.Context) (apiv1.Results, error) {
 	return out, err
 }
 
+// TimeseriesQuery selects a window of the longitudinal series. Zero values
+// are omitted: all metrics, the daemon's finest resolution, full retention.
+type TimeseriesQuery struct {
+	// Metric restricts the response to one series (e.g. "samples", "kept",
+	// "campaigns", "xmr", "pool:<name>"; timeline metrics "samples",
+	// "wallets", "xmr").
+	Metric string
+	// Resolution names a configured retention level: "1s", "1m", "1h", "1d".
+	Resolution string
+	// Window bounds the series to the most recent span.
+	Window time.Duration
+}
+
+func (q TimeseriesQuery) values() url.Values {
+	v := url.Values{}
+	if q.Metric != "" {
+		v.Set("metric", q.Metric)
+	}
+	if q.Resolution != "" {
+		v.Set("resolution", q.Resolution)
+	}
+	if q.Window > 0 {
+		v.Set("window", q.Window.String())
+	}
+	return v
+}
+
+// Timeseries fetches the ecosystem-wide longitudinal series (sample/keep
+// arrival rates, campaign and priced-XMR gauges, per-pool shares) plus the
+// data-time yearly-evolution breakdown. Daemons running with -no-series
+// answer 409 (code timeseries_disabled).
+func (c *Client) Timeseries(ctx context.Context, q TimeseriesQuery) (apiv1.Timeseries, error) {
+	var out apiv1.Timeseries
+	err := c.do(ctx, http.MethodGet, "/api/v1/timeseries", q.values(), nil, "", &out)
+	return out, err
+}
+
+// CampaignTimeline fetches one campaign's longitudinal series: sample
+// arrivals, wallet first sightings and priced-XMR deltas.
+func (c *Client) CampaignTimeline(ctx context.Context, id int, q TimeseriesQuery) (apiv1.CampaignTimeline, error) {
+	var out apiv1.CampaignTimeline
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+strconv.Itoa(id)+"/timeline", q.values(), nil, "", &out)
+	return out, err
+}
+
 // SubmitSample ingests one sample.
 func (c *Client) SubmitSample(ctx context.Context, s apiv1.Sample) (apiv1.IngestResult, error) {
 	var out apiv1.IngestResult

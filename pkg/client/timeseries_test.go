@@ -1,0 +1,75 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+	"cryptomining/pkg/client"
+)
+
+// TestTimeseriesSDK drives the longitudinal endpoints through the SDK: bulk
+// ingest, then read the ecosystem series, a filtered window, and a campaign
+// timeline.
+func TestTimeseriesSDK(t *testing.T) {
+	d := newDaemon(t, nil)
+	ctx := context.Background()
+	if _, err := d.cl.SubmitSamples(ctx, wireCorpus(d.u, 11)); err != nil {
+		t.Fatalf("bulk submit: %v", err)
+	}
+	res := d.finish(t)
+
+	ts, err := d.cl.Timeseries(ctx, client.TimeseriesQuery{})
+	if err != nil {
+		t.Fatalf("Timeseries: %v", err)
+	}
+	var samples float64
+	for _, s := range ts.Series {
+		if s.Name == "samples" {
+			for _, b := range s.Buckets {
+				samples += b.Sum
+			}
+		}
+	}
+	if int(samples) != len(res.Outcomes) {
+		t.Errorf("samples series sums to %v, want %d", samples, len(res.Outcomes))
+	}
+	if len(ts.Years) == 0 {
+		t.Error("no yearly breakdown")
+	}
+
+	filtered, err := d.cl.Timeseries(ctx, client.TimeseriesQuery{
+		Metric:     "kept",
+		Resolution: "1m",
+		Window:     2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("filtered Timeseries: %v", err)
+	}
+	if len(filtered.Series) != 1 || filtered.Series[0].Name != "kept" || filtered.ResolutionSeconds != 60 {
+		t.Errorf("filtered query: %+v", filtered)
+	}
+
+	page, err := d.cl.Campaigns(ctx, client.CampaignQuery{Limit: 1})
+	if err != nil || len(page.Campaigns) == 0 {
+		t.Fatalf("campaigns: %v", err)
+	}
+	tl, err := d.cl.CampaignTimeline(ctx, page.Campaigns[0].ID, client.TimeseriesQuery{})
+	if err != nil {
+		t.Fatalf("CampaignTimeline: %v", err)
+	}
+	if tl.ID != page.Campaigns[0].ID || len(tl.Series) != 3 {
+		t.Errorf("timeline: id=%d series=%d", tl.ID, len(tl.Series))
+	}
+
+	// Error decoding: unknown resolution surfaces as a 400 *APIError.
+	var ae *client.APIError
+	if _, err := d.cl.Timeseries(ctx, client.TimeseriesQuery{Resolution: "9s"}); !errors.As(err, &ae) || ae.StatusCode != 400 || ae.Code != apiv1.CodeBadRequest {
+		t.Errorf("unknown resolution: err = %v", err)
+	}
+	if _, err := d.cl.CampaignTimeline(ctx, 999999, client.TimeseriesQuery{}); !errors.As(err, &ae) || ae.Code != apiv1.CodeNotFound {
+		t.Errorf("missing campaign: err = %v", err)
+	}
+}
