@@ -1,0 +1,129 @@
+// Observability-overhead benchmarks: the same ingest workload as
+// BenchmarkStreamIngest run bare versus with the full instrumentation stack
+// (metrics registry + discarded structured logger), plus microbenchmarks of
+// the obs primitives the hot paths pay for. BENCH_obs.json records a
+// baseline; the acceptance bar is instrumented ingest within 3% of bare.
+package cryptomining
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cryptomining/internal/core"
+	"cryptomining/internal/obs"
+	"cryptomining/internal/stream"
+)
+
+// runIngestObs mirrors runIngest but optionally attaches the observability
+// stack to the engine.
+func runIngestObs(b *testing.B, instrumented bool) int {
+	b.Helper()
+	u := universeOfSize(b, 1000)
+	cfg := core.NewFromUniverse(u).StreamConfig()
+	if instrumented {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Logger = obs.NopLogger()
+	}
+	eng := stream.New(cfg)
+	ctx := context.Background()
+	eng.Start(ctx)
+	for _, h := range u.Corpus.Hashes() {
+		s, ok := u.Corpus.Get(h)
+		if !ok {
+			continue
+		}
+		if err := eng.Submit(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res, err := eng.Finish(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(res.Outcomes)
+}
+
+// BenchmarkObsIngest measures the end-to-end ingest cost bare vs
+// instrumented over the same 1k-sample feed. The instrumented variant pays
+// per-stage duration observations, queue-depth gauges and the collector
+// lock-hold histogram; everything else bridges existing atomics at scrape
+// time only.
+func BenchmarkObsIngest(b *testing.B) {
+	for _, variant := range []struct {
+		name         string
+		instrumented bool
+	}{
+		{"bare-1000", false},
+		{"instrumented-1000", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			universeOfSize(b, 1000) // warm the shared fixture outside the timer
+			b.ResetTimer()
+			var analyzed int
+			for i := 0; i < b.N; i++ {
+				analyzed = runIngestObs(b, variant.instrumented)
+			}
+			b.StopTimer()
+			perSec := float64(analyzed) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "samples/sec")
+		})
+	}
+}
+
+// BenchmarkObsCounterInc is the cost of one lock-free counter increment —
+// the unit the API request counter pays per request.
+func BenchmarkObsCounterInc(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_counter_total", "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogramObserve is the cost of one histogram observation —
+// the unit every instrumented stage pays per sample.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench_latency_seconds", "bench", obs.LatencyBuckets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}
+
+// BenchmarkObsScrape renders a realistically sized exposition (the cost a
+// scraper imposes per scrape, paid off the hot path).
+func BenchmarkObsScrape(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 20; i++ {
+		name := "bench_family_" + string(rune('a'+i)) + "_total"
+		reg.Counter(name, "bench").Add(float64(i))
+		reg.Histogram("bench_hist_"+string(rune('a'+i))+"_seconds", "bench",
+			obs.LatencyBuckets).Observe(float64(i) * 1e-4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+	}
+}
+
+// BenchmarkObsStageOverhead isolates the per-task cost the Stage contract
+// adds over a raw function call: one clock pair fanned to two observers
+// (engine stats + self-registered histogram).
+func BenchmarkObsStageOverhead(b *testing.B) {
+	reg := obs.NewRegistry()
+	var sink time.Duration
+	st := stream.NewStage("bench", func(*stream.Task) {},
+		stream.WithObserver(func(d time.Duration) { sink += d }),
+		stream.WithMetrics(reg))
+	t := &stream.Task{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Process(t)
+	}
+	_ = sink
+}

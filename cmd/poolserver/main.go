@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/pool"
 )
 
@@ -34,8 +35,24 @@ func main() {
 		banAfterIPs = flag.Int("ban-after-ips", 1000, "ban wallets seen from more than this many IPs (0 disables)")
 		ledger      = flag.String("ledger", "", "load a wallet ledger snapshot (cmd/ecosimgen pools/<name>.json) before serving")
 		historic    = flag.Bool("historic-hashrate", false, "expose the historic per-wallet hashrate series (minexmr in the paper)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat   = flag.String("log-format", obs.FormatText, "log output format: text or json")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		log.Fatalf("-log-format: %v", err)
+	}
+	logd := obs.Component(logger, "poolserver")
+	fatal := func(msg string, args ...any) {
+		logd.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	policy := pool.DefaultPolicy()
 	policy.Transparent = !*opaque
@@ -45,22 +62,22 @@ func main() {
 	if *ledger != "" {
 		raw, err := os.ReadFile(*ledger)
 		if err != nil {
-			log.Fatalf("read ledger: %v", err)
+			fatal("read ledger", "path", *ledger, "err", err)
 		}
 		if err := p.UnmarshalSnapshot(raw); err != nil {
-			log.Fatalf("load ledger %s: %v", *ledger, err)
+			fatal("load ledger", "path", *ledger, "err", err)
 		}
-		log.Printf("loaded ledger %s: %d wallets", *ledger, len(p.Wallets()))
+		logd.Info("loaded ledger", "path", *ledger, "wallets", len(p.Wallets()))
 	}
-	srv := pool.NewServer(p)
+	srv := pool.NewServer(p, pool.WithLogger(logger))
 
 	sAddr, err := srv.ListenStratum(*stratumAddr)
 	if err != nil {
-		log.Fatalf("stratum listen: %v", err)
+		fatal("stratum listen", "addr", *stratumAddr, "err", err)
 	}
 	hAddr, err := srv.ListenHTTP(*httpAddr)
 	if err != nil {
-		log.Fatalf("http listen: %v", err)
+		fatal("http listen", "addr", *httpAddr, "err", err)
 	}
 	fmt.Printf("pool %q running\n  stratum: %s\n  stats:   http://%s/api/stats?address=<wallet>\n  info:    http://%s/api/pool\n",
 		*name, sAddr, hAddr, hAddr)

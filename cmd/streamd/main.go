@@ -64,9 +64,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -80,6 +82,7 @@ import (
 	"cryptomining/internal/core"
 	"cryptomining/internal/ecosim"
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/persist"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/report"
@@ -107,8 +110,32 @@ func main() {
 		probeWorkers   = flag.Int("probe-workers", 0, "concurrent probe workers (0 = default)")
 		noSeries       = flag.Bool("no-series", false, "disable the longitudinal timeseries subsystem (GET /api/v1/timeseries answers 409)")
 		seriesRet      = flag.String("series-retention", defaultSeriesRetention, "timeseries retention ladder as resolution:buckets pairs, finest first; memory stays bounded by buckets-per-level regardless of run length")
+		metricsAddr    = flag.String("metrics-addr", "", "additionally serve the Prometheus exposition on a dedicated listener (it is always mounted at /metrics on the main API address)")
+		debugAddr      = flag.String("debug-addr", "", "serve net/http/pprof (and a /metrics mirror) on this address (empty = pprof off)")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat      = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("invalid flags: %v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		log.Fatalf("invalid flags: %v", err)
+	}
+	logd := obs.Component(logger, "streamd")
+	fatal := func(msg string, args ...any) {
+		logd.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// One registry serves every layer: engine stages, WAL, probe crawler,
+	// API routes and process runtime gauges all register here, and /metrics
+	// renders them in one exposition.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	levels, err := validateFlags(flagValues{
 		scale:           *scale,
@@ -124,17 +151,18 @@ func main() {
 		seriesRetention: *seriesRet,
 	})
 	if err != nil {
-		log.Fatalf("invalid flags: %v", err)
+		fatal("invalid flags", "err", err)
 	}
 
 	cfg := ecosim.DefaultConfig().Scale(*scale)
 	cfg.Seed = *seed
-	log.Printf("generating ecosystem (seed=%d, scale=%.2f)...", *seed, *scale)
+	logd.Info("generating ecosystem", "seed", *seed, "scale", *scale)
 	u := ecosim.Generate(cfg)
 	if *noFeed {
-		log.Printf("feed replay disabled (-no-feed): %d-sample corpus generated for analysis wiring only", u.Corpus.Len())
+		logd.Info("feed replay disabled (-no-feed); corpus generated for analysis wiring only",
+			"samples", u.Corpus.Len())
 	} else {
-		log.Printf("feed ready: %d samples, %d ground-truth campaigns", u.Corpus.Len(), len(u.Campaigns))
+		logd.Info("feed ready", "samples", u.Corpus.Len(), "ground_truth_campaigns", len(u.Campaigns))
 	}
 
 	streamCfg := core.NewFromUniverse(u).StreamConfig()
@@ -142,6 +170,8 @@ func main() {
 	streamCfg.QueueDepth = *queue
 	streamCfg.Timeseries.Disabled = *noSeries
 	streamCfg.Timeseries.Levels = levels
+	streamCfg.Metrics = reg
+	streamCfg.Logger = logger
 
 	// All pool queries go through the asynchronous probe crawler: the
 	// in-process directory by default (deterministic), or live pool servers
@@ -150,10 +180,10 @@ func main() {
 	if *probeHTTP != "" {
 		endpoints, err := loadProbeEndpoints(*probeHTTP)
 		if err != nil {
-			log.Fatalf("load %s: %v", *probeHTTP, err)
+			fatal("load probe endpoints", "path", *probeHTTP, "err", err)
 		}
 		src = probe.NewHTTPSource(endpoints, nil)
-		log.Printf("probing %d pools over HTTP (%s)", len(endpoints), *probeHTTP)
+		logd.Info("probing pools over HTTP", "pools", len(endpoints), "endpoints_file", *probeHTTP)
 	} else {
 		src = probe.NewDirectorySource(streamCfg.Pools, streamCfg.QueryTime)
 	}
@@ -163,6 +193,8 @@ func main() {
 		Workers:     *probeWorkers,
 		TTL:         *probeInterval,
 		RatePerPool: *probeRate,
+		Metrics:     reg,
+		Logger:      logger,
 	})
 	streamCfg.Prober = prober
 	eng := stream.New(streamCfg)
@@ -180,17 +212,17 @@ func main() {
 		// restarting against a different feed would silently skip and repeat
 		// the wrong samples. Pin the feed identity in the data dir.
 		if err := checkFeedMeta(*dataDir, *seed, *scale, u.Corpus.Len()); err != nil {
-			log.Fatalf("%v", err)
+			fatal("feed identity check failed", "err", err)
 		}
 		var err error
-		st, err = persist.Open(*dataDir)
+		st, err = persist.Open(*dataDir, persist.WithMetrics(reg), persist.WithLogger(logger))
 		if err != nil {
-			log.Fatalf("open data dir: %v", err)
+			fatal("open data dir", "dir", *dataDir, "err", err)
 		}
 		defer st.Close()
 		info, err := st.Resume(ctx, eng)
 		if err != nil {
-			log.Fatalf("resume: %v", err)
+			fatal("resume", "err", err)
 		}
 		// The WAL interleaves feed samples with remote API submissions, so
 		// the feed position cannot be equated with the WAL length. Derive it
@@ -201,10 +233,13 @@ func main() {
 		// hash, so the skip can never overshoot what actually survived.
 		skip = feedProgress(eng, u, *seed)
 		if info.Resumed {
-			log.Printf("resumed from %s: snapshot seq %d, %d WAL entries replayed, feed continues at %d/%d",
-				*dataDir, info.SnapshotSeq, info.Replayed, skip, u.Corpus.Len())
+			// The message keeps the scripts/resume_smoke.sh grep contract:
+			// "resumed from <...>, <N> WAL entries replayed".
+			logd.Info(fmt.Sprintf("resumed from %s, %d WAL entries replayed", *dataDir, info.Replayed),
+				"snapshot_seq", info.SnapshotSeq,
+				"feed_position", skip, "feed_total", u.Corpus.Len())
 		} else {
-			log.Printf("durable state in %s (empty, starting fresh)", *dataDir)
+			logd.Info("durable state directory empty, starting fresh", "dir", *dataDir)
 		}
 	} else {
 		eng.Start(ctx)
@@ -246,7 +281,7 @@ func main() {
 				// Final checkpoint: a restart after completion resumes straight
 				// into the finished state instead of re-analyzing the tail.
 				if _, err := st.Checkpoint(); err != nil {
-					log.Printf("final checkpoint: %v", err)
+					logd.Warn("final checkpoint failed", "err", err)
 				}
 			}
 			mu.Lock()
@@ -266,6 +301,8 @@ func main() {
 		Submit:      submit,
 		DefaultTopN: *topN,
 		Probe:       prober,
+		Logger:      logger,
+		Metrics:     reg,
 		Results: func() *stream.Results {
 			mu.Lock()
 			defer mu.Unlock()
@@ -284,8 +321,9 @@ func main() {
 			if err != nil {
 				return apiv1.Checkpoint{}, err
 			}
-			log.Printf("checkpoint: %s (%d bytes, %d/%d submissions reflected)",
-				info.Path, info.Bytes, info.Processed, info.Logged)
+			logd.Info("checkpoint on request",
+				"path", info.Path, "bytes", info.Bytes,
+				"processed", info.Processed, "logged", info.Logged)
 			return apiv1.Checkpoint{
 				Path:      info.Path,
 				Bytes:     info.Bytes,
@@ -297,15 +335,18 @@ func main() {
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
-		log.Fatalf("http listen: %v", err)
+		fatal("http listen", "addr", *httpAddr, "err", err)
 	}
 	srv := &http.Server{Handler: api.New(apiCfg).Handler()}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("http serve: %v", err)
+			fatal("http serve", "err", err)
 		}
 	}()
-	log.Printf("service API on http://%s (/api/v1/{stats,campaigns,results,checkpoint,samples,events,probe,finish,healthz} + legacy aliases)", ln.Addr())
+	logd.Info("service API up",
+		"addr", "http://"+ln.Addr().String(),
+		"surface", "/api/v1/{stats,campaigns,results,checkpoint,samples,events,probe,finish,healthz} + legacy aliases + /metrics")
+	startAuxListeners(logd, fatal, reg, *metricsAddr, *debugAddr)
 
 	drained := make(chan struct{})
 	if *noFeed {
@@ -315,23 +356,24 @@ func main() {
 		go func() {
 			defer close(drained)
 			if err := replay(ctx, submit, u, *seed, *rate, skip); err != nil {
-				log.Printf("replay aborted: %v", err)
+				logd.Warn("replay aborted", "err", err)
 				return
 			}
 			res, err := finish()
 			if err != nil {
-				log.Printf("finish: %v", err)
+				logd.Error("finish failed", "err", err)
 				return
 			}
 			es := eng.Stats()
-			log.Printf("drain complete: %d samples in %s (%.0f samples/sec), %d kept, %d campaigns, %s XMR (%s USD)",
-				es.Analyzed, es.Uptime.Round(time.Millisecond), es.SamplesPerSec,
-				len(res.Records), len(res.Campaigns),
-				model.FormatXMR(res.TotalXMR), model.FormatUSD(res.TotalUSD))
+			logd.Info("drain complete",
+				"analyzed", es.Analyzed, "uptime", es.Uptime.Round(time.Millisecond),
+				"samples_per_sec", fmt.Sprintf("%.0f", es.SamplesPerSec),
+				"kept", len(res.Records), "campaigns", len(res.Campaigns),
+				"xmr", model.FormatXMR(res.TotalXMR), "usd", model.FormatUSD(res.TotalUSD))
 			// The paper-style longitudinal breakdown, rendered from the live
 			// series the daemon keeps serving at /api/v1/timeseries.
 			if snap, err := eng.Timeseries(stream.TimeseriesQuery{}); err == nil {
-				log.Printf("yearly evolution (data time):\n%s", yearlyEvolutionTable(snap.Years))
+				logd.Info("yearly evolution (data time)\n" + yearlyEvolutionTable(snap.Years))
 			}
 		}()
 	}
@@ -346,10 +388,10 @@ func main() {
 				select {
 				case <-t.C:
 					if info, err := st.Checkpoint(); err != nil {
-						log.Printf("checkpoint: %v", err)
+						logd.Warn("periodic checkpoint failed", "err", err)
 					} else {
-						log.Printf("checkpoint: %s (%d/%d submissions reflected)",
-							info.Path, info.Processed, info.Logged)
+						logd.Debug("periodic checkpoint",
+							"path", info.Path, "processed", info.Processed, "logged", info.Logged)
 					}
 				case <-drained:
 					return
@@ -372,12 +414,53 @@ func main() {
 		// Best-effort parting snapshot on graceful shutdown; the WAL alone
 		// already guarantees a correct (if slower) resume.
 		if _, err := st.Checkpoint(); err != nil {
-			log.Printf("shutdown checkpoint: %v", err)
+			logd.Warn("shutdown checkpoint failed", "err", err)
 		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
+}
+
+// startAuxListeners brings up the optional side listeners: a dedicated
+// metrics endpoint (-metrics-addr) and the pprof debug surface (-debug-addr,
+// which also mirrors /metrics so one debug port suffices for profiling a
+// scrape anomaly). Both serve read-only diagnostics; neither touches the
+// ingest path.
+func startAuxListeners(logd *slog.Logger, fatal func(string, ...any), reg *obs.Registry, metricsAddr, debugAddr string) {
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal("metrics listen", "addr", metricsAddr, "err", err)
+		}
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && err != http.ErrServerClosed {
+				logd.Error("metrics serve", "err", err)
+			}
+		}()
+		logd.Info("metrics exposition up", "addr", "http://"+ln.Addr().String()+"/metrics")
+	}
+	if debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", reg.Handler())
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fatal("debug listen", "addr", debugAddr, "err", err)
+		}
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && err != http.ErrServerClosed {
+				logd.Error("debug serve", "err", err)
+			}
+		}()
+		logd.Info("pprof debug surface up", "addr", "http://"+ln.Addr().String()+"/debug/pprof/")
+	}
 }
 
 // defaultSeriesRetention is the flag form of timeseries.DefaultLevels: two

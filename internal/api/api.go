@@ -45,11 +45,12 @@ package api
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/stream"
 	"cryptomining/pkg/apiv1"
@@ -87,14 +88,22 @@ type Config struct {
 	RetryAfter time.Duration
 	// EventBuffer is the per-subscriber event channel capacity (default 1024).
 	EventBuffer int
-	// Logger receives request logs and encode failures (default log.Default).
-	Logger *log.Logger
+	// Logger receives request logs and encode failures, scoped
+	// component=api. Nil keeps the server silent (tests, embedders).
+	Logger *slog.Logger
+	// Metrics, when set, makes the server maintain per-route request
+	// counters, latency histograms, response-size histograms and an
+	// in-flight gauge in the registry, and serve the registry's Prometheus
+	// exposition at GET /metrics.
+	Metrics *obs.Registry
 }
 
 // Server is the versioned API surface. Create with New, mount via Handler.
 type Server struct {
 	cfg     Config
-	log     *log.Logger
+	log     *slog.Logger
+	met     *serverMetrics
+	reqID   *requestIDSource
 	handler http.Handler
 }
 
@@ -115,13 +124,14 @@ func New(cfg Config) *Server {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 1024
 	}
-	if cfg.Logger == nil {
-		cfg.Logger = log.Default()
+	s := &Server{cfg: cfg, log: obs.Component(cfg.Logger, "api"), reqID: newRequestIDSource()}
+	if cfg.Metrics != nil {
+		s.met = newServerMetrics(cfg.Metrics)
 	}
-	s := &Server{cfg: cfg, log: cfg.Logger}
-	// Recovery sits inside logging so a panicked request still gets its log
-	// line (as a recovered 500).
-	s.handler = s.logRequests(s.recoverPanics(s.routes()))
+	// Request-ID assignment sits outermost so the log line and any error
+	// envelope share the ID; recovery sits inside logging so a panicked
+	// request still gets its log line (as a recovered 500).
+	s.handler = s.requestIDs(s.logRequests(s.recoverPanics(s.routes())))
 	return s
 }
 
@@ -134,26 +144,35 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.Handle("/api/v1/stats", s.route(s.handleStats, http.MethodGet))
-	mux.Handle("/api/v1/campaigns", s.route(s.handleCampaigns, http.MethodGet))
-	mux.Handle("/api/v1/campaigns/{id}", s.route(s.handleCampaignDetail, http.MethodGet))
-	mux.Handle("/api/v1/campaigns/{id}/timeline", s.route(s.handleCampaignTimeline, http.MethodGet))
-	mux.Handle("/api/v1/timeseries", s.route(s.handleTimeseries, http.MethodGet))
-	mux.Handle("/api/v1/results", s.route(s.handleResults, http.MethodGet))
-	mux.Handle("/api/v1/checkpoint", s.route(s.handleCheckpoint, http.MethodPost))
-	mux.Handle("/api/v1/samples", s.route(s.handleSamples, http.MethodPost))
-	mux.Handle("/api/v1/healthz", s.route(s.handleHealthV1, http.MethodGet))
-	mux.Handle("/api/v1/events", s.route(s.handleEvents, http.MethodGet))
-	mux.Handle("/api/v1/probe", s.route(s.handleProbeStats, http.MethodGet))
-	mux.Handle("/api/v1/probe/refresh", s.route(s.handleProbeRefresh, http.MethodPost))
-	mux.Handle("/api/v1/finish", s.route(s.handleFinish, http.MethodPost))
+	handle := func(pattern string, h http.HandlerFunc, allow ...string) {
+		mux.Handle(pattern, s.route(pattern, h, allow...))
+	}
+	handle("/api/v1/stats", s.handleStats, http.MethodGet)
+	handle("/api/v1/campaigns", s.handleCampaigns, http.MethodGet)
+	handle("/api/v1/campaigns/{id}", s.handleCampaignDetail, http.MethodGet)
+	handle("/api/v1/campaigns/{id}/timeline", s.handleCampaignTimeline, http.MethodGet)
+	handle("/api/v1/timeseries", s.handleTimeseries, http.MethodGet)
+	handle("/api/v1/results", s.handleResults, http.MethodGet)
+	handle("/api/v1/checkpoint", s.handleCheckpoint, http.MethodPost)
+	handle("/api/v1/samples", s.handleSamples, http.MethodPost)
+	handle("/api/v1/healthz", s.handleHealthV1, http.MethodGet)
+	handle("/api/v1/events", s.handleEvents, http.MethodGet)
+	handle("/api/v1/probe", s.handleProbeStats, http.MethodGet)
+	handle("/api/v1/probe/refresh", s.handleProbeRefresh, http.MethodPost)
+	handle("/api/v1/finish", s.handleFinish, http.MethodPost)
 
 	// Legacy aliases.
-	mux.Handle("/stats", s.route(s.handleStats, http.MethodGet))
-	mux.Handle("/campaigns", s.route(s.handleLegacyCampaigns, http.MethodGet))
-	mux.Handle("/results", s.route(s.handleResults, http.MethodGet))
-	mux.Handle("/checkpoint", s.route(s.handleCheckpoint, http.MethodPost))
-	mux.Handle("/healthz", s.route(s.handleHealthLegacy, http.MethodGet))
+	handle("/stats", s.handleStats, http.MethodGet)
+	handle("/campaigns", s.handleLegacyCampaigns, http.MethodGet)
+	handle("/results", s.handleResults, http.MethodGet)
+	handle("/checkpoint", s.handleCheckpoint, http.MethodPost)
+	handle("/healthz", s.handleHealthLegacy, http.MethodGet)
+
+	// The exposition endpoint itself stays outside the instrumented route
+	// set: scrapes should not inflate the request metrics they collect.
+	if s.cfg.Metrics != nil {
+		mux.Handle("/metrics", s.cfg.Metrics.Handler())
+	}
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, "no such endpoint: "+r.URL.Path)
@@ -161,12 +180,13 @@ func (s *Server) routes() http.Handler {
 	return mux
 }
 
-// route wraps a handler in the per-endpoint middleware (the method guard).
+// route wraps a handler in the per-endpoint middleware: the metrics
+// instrumentation (labeled by route pattern) around the method guard.
 // There is deliberately no blanket request deadline: the streaming routes
 // (events, bulk samples) legitimately outlive any fixed bound, and the
 // snapshot reads complete in-memory; the one operation that can stall —
 // submitting into a backpressured engine — is individually bounded by
 // RequestTimeout in submitWire, surfacing as 503.
-func (s *Server) route(h http.HandlerFunc, allow ...string) http.Handler {
-	return s.methods(h, allow...)
+func (s *Server) route(pattern string, h http.HandlerFunc, allow ...string) http.Handler {
+	return s.instrument(pattern, s.methods(h, allow...))
 }

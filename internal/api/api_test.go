@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -51,9 +50,6 @@ func newTestDaemon(t *testing.T, cfg api.Config) *testDaemon {
 			defer d.mu.Unlock()
 			return d.final
 		}
-	}
-	if cfg.Logger == nil {
-		cfg.Logger = log.New(io.Discard, "", 0)
 	}
 	d.ts = httptest.NewServer(api.New(cfg).Handler())
 	t.Cleanup(d.ts.Close)
@@ -452,7 +448,7 @@ func TestEventsHEAD(t *testing.T) {
 func TestPanicRecovery(t *testing.T) {
 	// A server with no engine panics in the stats handler; the middleware
 	// must convert that into a logged 500 envelope.
-	srv := api.New(api.Config{Logger: log.New(io.Discard, "", 0)})
+	srv := api.New(api.Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/api/v1/stats")

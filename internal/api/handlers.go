@@ -286,7 +286,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			buf, err := json.Marshal(EventToWire(ev))
 			if err != nil {
-				s.log.Printf("api: encode event: %v", err)
+				s.log.Warn("encode event failed", "err", err)
 				continue
 			}
 			if sse {

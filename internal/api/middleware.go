@@ -1,14 +1,110 @@
 package api
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"cryptomining/internal/obs"
 	"cryptomining/pkg/apiv1"
 )
+
+// RequestIDHeader carries the per-request correlation ID: assigned by the
+// server (or honored from the client when already present), echoed on every
+// response, and repeated in error envelopes and request logs.
+const RequestIDHeader = "X-Request-ID"
+
+// requestIDKey is the context key the assigned request ID travels under.
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request ID assigned to the request being
+// served ("" outside a request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestIDSource mints process-unique request IDs: a random per-process
+// prefix plus an atomic counter, so IDs are unique across restarts without
+// per-request entropy reads.
+type requestIDSource struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+func newRequestIDSource() *requestIDSource {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return &requestIDSource{prefix: hex.EncodeToString(b[:])}
+}
+
+func (g *requestIDSource) next() string {
+	return fmt.Sprintf("%s-%06d", g.prefix, g.n.Add(1))
+}
+
+// requestIDs assigns each request its correlation ID: an incoming
+// X-Request-ID is honored (so a client can stitch its own traces through),
+// otherwise a fresh one is minted. The ID is set on the response header
+// BEFORE the handler runs — which is how the error envelope writer can read
+// it back without threading it through every handler signature — and stored
+// in the request context for handlers that want it.
+func (s *Server) requestIDs(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > 128 {
+			id = s.reqID.next()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// serverMetrics is the server's registered instrument set.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("api_inflight_requests", "Requests currently being served."),
+	}
+}
+
+// instrument wraps one route with its request counter, latency histogram and
+// response-size histogram, all labeled by the route pattern (so path
+// parameters do not explode the label space). No-op without a registry.
+func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
+	if s.met == nil {
+		return h
+	}
+	lat := s.met.reg.Histogram("api_request_duration_seconds",
+		"Wall-clock request latency by route.", obs.LatencyBuckets, obs.L("route", pattern))
+	size := s.met.reg.Histogram("api_response_bytes",
+		"Response body size by route.", obs.SizeBuckets, obs.L("route", pattern))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		s.met.inflight.Add(1)
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		s.met.inflight.Add(-1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		lat.Observe(time.Since(start).Seconds())
+		size.Observe(float64(sw.bytes))
+		s.met.reg.Counter("api_requests_total", "Requests served by route, method and status.",
+			obs.L("route", pattern), obs.L("method", r.Method),
+			obs.L("status", fmt.Sprint(sw.status))).Inc()
+	})
+}
 
 // methods guards a handler against unsupported HTTP methods: anything not
 // listed answers 405 with an Allow header and the uniform error envelope.
@@ -64,8 +160,8 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// logRequests emits one line per request: method, path, status, bytes,
-// duration.
+// logRequests emits one structured line per request: method, path, status,
+// bytes, duration and the correlation ID.
 func (s *Server) logRequests(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
@@ -74,8 +170,13 @@ func (s *Server) logRequests(h http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.log.Printf("api: %s %s -> %d (%dB, %s)",
-			r.Method, r.URL.RequestURI(), sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.RequestURI(),
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(start).Round(time.Microsecond),
+			"request_id", RequestIDFromContext(r.Context()))
 	})
 }
 
@@ -91,7 +192,10 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 				}
 				return
 			}
-			s.log.Printf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			s.log.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"request_id", RequestIDFromContext(r.Context()),
+				"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote a body this will be
 			// ignored or garbled, but the connection survives either way.
 			s.error(w, http.StatusInternalServerError, apiv1.CodeInternal, "internal error")

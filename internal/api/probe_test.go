@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -41,7 +40,6 @@ func newProbeDaemon(t *testing.T) (*testDaemon, *probe.Scheduler) {
 	cfg := api.Config{
 		Engine: d.eng,
 		Probe:  prober,
-		Logger: log.New(io.Discard, "", 0),
 		Finish: func(ctx context.Context) (*stream.Results, error) {
 			res, err := d.eng.Finish(ctx)
 			if err != nil {

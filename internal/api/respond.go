@@ -2,6 +2,7 @@ package api
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"cryptomining/pkg/apiv1"
@@ -16,11 +17,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.log.Printf("api: encode %T response: %v", v, err)
+		s.log.Warn("encode response failed", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }
 
-// error writes the uniform error envelope.
+// error writes the uniform error envelope, echoing the request's correlation
+// ID. The ID is read back from the response header — the request-ID
+// middleware sets it before any handler runs — so error sites keep their
+// (w, status, code, message) shape.
 func (s *Server) error(w http.ResponseWriter, status int, code, message string) {
-	s.writeJSON(w, status, apiv1.ErrorEnvelope{Error: apiv1.Error{Code: code, Message: message}})
+	s.writeJSON(w, status, apiv1.ErrorEnvelope{Error: apiv1.Error{
+		Code:      code,
+		Message:   message,
+		RequestID: w.Header().Get(RequestIDHeader),
+	}})
 }

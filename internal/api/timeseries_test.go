@@ -3,8 +3,6 @@ package api_test
 import (
 	"context"
 	"fmt"
-	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -131,7 +129,6 @@ func TestTimeseriesDisabled409(t *testing.T) {
 	eng.Start(context.Background())
 	srv := httptest.NewServer(api.New(api.Config{
 		Engine: eng,
-		Logger: log.New(io.Discard, "", 0),
 	}).Handler())
 	defer srv.Close()
 

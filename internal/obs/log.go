@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// ParseLevel maps the conventional level names (debug, info, warn, error,
+// case-insensitive) to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" or "json") at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case FormatText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library subsystems, so tests and embedders stay silent unless they opt in.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// Component scopes a logger to one subsystem. A nil base returns a silent
+// logger, which is what lets libraries write
+// `log := obs.Component(cfg.Logger, "wal")` unconditionally.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return NopLogger()
+	}
+	return base.With(slog.String("component", name))
+}

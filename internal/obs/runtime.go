@@ -1,0 +1,24 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers process-level gauges (goroutine count,
+// heap usage, GC cycles) read lazily at scrape time. ReadMemStats briefly
+// stops the world, so scrape cost is paid by the scraper, never by the
+// workload between scrapes.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Heap bytes currently allocated.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

@@ -37,13 +37,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/stream"
 )
 
@@ -75,6 +78,90 @@ type Store struct {
 	snap    *snapshotFile
 	pending []walRecord
 	resumed bool
+
+	// log is the store's component logger (never nil; silent by default).
+	// met is the registered instrument set, nil when metrics are disabled.
+	log *slog.Logger
+	met *storeMetrics
+}
+
+// Option configures a Store at Open time.
+type Option func(*Store)
+
+// WithMetrics makes the store register and maintain its durability metrics
+// (WAL append/fsync latency, segment counts, checkpoint duration and size)
+// in the registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Store) {
+		if reg == nil {
+			return
+		}
+		s.met = newStoreMetrics(reg, s)
+	}
+}
+
+// WithLogger routes the store's structured logs (recovery summary, replay
+// progress, checkpoints, append failures) to lg, scoped component=persist.
+func WithLogger(lg *slog.Logger) Option {
+	return func(s *Store) { s.log = obs.Component(lg, "persist") }
+}
+
+// storeMetrics is the store's registered instrument set.
+type storeMetrics struct {
+	appendLat *obs.Histogram
+	fsyncLat  *obs.Histogram
+	ckptLat   *obs.Histogram
+	ckptBytes *obs.Histogram
+	ckpts     *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry, s *Store) *storeMetrics {
+	m := &storeMetrics{
+		appendLat: reg.Histogram("persist_wal_append_seconds",
+			"Latency of one WAL frame append (encode + write).", obs.LatencyBuckets),
+		fsyncLat: reg.Histogram("persist_wal_fsync_seconds",
+			"Latency of one fsync of the active WAL segment.", obs.LatencyBuckets),
+		ckptLat: reg.Histogram("persist_checkpoint_seconds",
+			"End-to-end duration of one checkpoint (export, encode, fsync, rotate, prune).",
+			obs.LatencyBuckets),
+		ckptBytes: reg.Histogram("persist_checkpoint_bytes",
+			"Size of written snapshot files.", obs.SizeBuckets),
+		ckpts: reg.Counter("persist_checkpoints_total",
+			"Checkpoints completed successfully."),
+	}
+	reg.CounterFunc("persist_wal_logged_total",
+		"Submissions ever logged to the write-ahead log.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.nextSeq - 1)
+		})
+	reg.GaugeFunc("persist_wal_segments",
+		"WAL segment files currently on disk.",
+		func() float64 {
+			firsts, err := listSegments(s.dir)
+			if err != nil {
+				return 0
+			}
+			return float64(len(firsts))
+		})
+	reg.GaugeFunc("persist_wal_active_segment_bytes",
+		"Size of the active WAL segment.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.curSize)
+		})
+	reg.GaugeFunc("persist_snapshots",
+		"Snapshot files currently on disk.",
+		func() float64 {
+			seqs, err := listSnapshots(s.dir)
+			if err != nil {
+				return 0
+			}
+			return float64(len(seqs))
+		})
+	return m
 }
 
 // ResumeInfo reports what recovery found and did.
@@ -107,11 +194,14 @@ type CheckpointInfo struct {
 // Open prepares a data directory: loads the newest valid snapshot, scans
 // the WAL segments (truncating a torn tail), and opens the active segment
 // for append. Call Resume next to load the state into an engine.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, nextSeq: 1}
+	s := &Store{dir: dir, nextSeq: 1, log: obs.NopLogger()}
+	for _, opt := range opts {
+		opt(s)
+	}
 
 	// One store per data directory: a second process appending to the same
 	// WAL would interleave duplicate sequence numbers and corrupt recovery.
@@ -204,6 +294,13 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	ok = true
+	snapSeq := uint64(0)
+	if s.snap != nil {
+		snapSeq = s.snap.NextSeq
+	}
+	s.log.Info("opened data directory",
+		"dir", dir, "snapshot_seq", snapSeq,
+		"pending_replay", len(s.pending), "next_seq", s.nextSeq)
 	return s, nil
 }
 
@@ -282,6 +379,9 @@ func (s *Store) Resume(ctx context.Context, eng *stream.Engine) (ResumeInfo, err
 	s.snap = nil
 	s.eng = eng
 	s.resumed = true
+	s.log.Info("resumed engine",
+		"resumed", info.Resumed, "snapshot_seq", info.SnapshotSeq,
+		"replayed", info.Replayed, "logged", info.Logged)
 	return info, nil
 }
 
@@ -299,6 +399,10 @@ func (s *Store) Submit(ctx context.Context, sample *model.Sample) error {
 		return errors.New("persist: store failed (unrecoverable partial WAL write)")
 	}
 	seq := s.nextSeq
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	n, err := appendFrame(s.cur, &walRecord{Seq: seq, Sample: *sample})
 	if err != nil {
 		// Roll the segment back to the pre-write size: a partial frame left
@@ -308,7 +412,11 @@ func (s *Store) Submit(ctx context.Context, sample *model.Sample) error {
 			s.failed = true
 		}
 		s.mu.Unlock()
+		s.log.Error("wal append failed", "seq", seq, "err", err, "poisoned", s.failed)
 		return err
+	}
+	if s.met != nil {
+		s.met.appendLat.Observe(time.Since(t0).Seconds())
 	}
 	s.curSize += int64(n)
 	s.nextSeq++
@@ -328,6 +436,10 @@ func (s *Store) Submit(ctx context.Context, sample *model.Sample) error {
 func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	var ckptStart time.Time
+	if s.met != nil {
+		ckptStart = time.Now()
+	}
 
 	s.mu.Lock()
 	if !s.resumed {
@@ -340,7 +452,7 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	}
 	eng := s.eng
 	seq := s.nextSeq
-	if err := s.cur.Sync(); err != nil {
+	if err := s.syncActive(); err != nil {
 		s.mu.Unlock()
 		return CheckpointInfo{}, err
 	}
@@ -374,7 +486,27 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 		Logged:    seq - 1,
 		Processed: st.AckLow - 1 + uint64(len(st.AckAbove)),
 	}
+	if s.met != nil {
+		s.met.ckptLat.Observe(time.Since(ckptStart).Seconds())
+		s.met.ckptBytes.Observe(float64(size))
+		s.met.ckpts.Inc()
+	}
+	s.log.Info("checkpoint written",
+		"path", info.Path, "bytes", info.Bytes,
+		"logged", info.Logged, "processed", info.Processed)
 	return info, nil
+}
+
+// syncActive fsyncs the active segment, timing the sync when metrics are
+// enabled. Caller must hold s.mu.
+func (s *Store) syncActive() error {
+	if s.met == nil {
+		return s.cur.Sync()
+	}
+	t0 := time.Now()
+	err := s.cur.Sync()
+	s.met.fsyncLat.Observe(time.Since(t0).Seconds())
+	return err
 }
 
 // prune removes snapshots older than the newest and WAL segments whose
@@ -418,7 +550,7 @@ func (s *Store) Close() error {
 	if s.cur == nil {
 		return nil
 	}
-	err := s.cur.Sync()
+	err := s.syncActive()
 	if cerr := s.cur.Close(); err == nil {
 		err = cerr
 	}

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"cryptomining/internal/obs"
 	"cryptomining/internal/pow"
 	"cryptomining/internal/stratum"
 )
@@ -28,6 +30,8 @@ type Server struct {
 	// Clock supplies the current time; overridable in tests.
 	Clock func() time.Time
 
+	log *slog.Logger
+
 	mu        sync.Mutex
 	stratumLn net.Listener
 	httpSrv   *http.Server
@@ -38,9 +42,25 @@ type Server struct {
 	jobSeq    int
 }
 
+// ServerOption customizes a Server at construction time.
+type ServerOption func(*Server)
+
+// WithLogger attaches a structured logger (scoped to the "pool" component).
+// Servers are silent without one, so tests stay quiet by default.
+func WithLogger(lg *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = obs.Component(lg, "pool") }
+}
+
 // NewServer wraps a pool in a network server.
-func NewServer(p *Pool) *Server {
-	return &Server{Pool: p, SharesPerHash: 5000, Clock: time.Now}
+func NewServer(p *Pool, opts ...ServerOption) *Server {
+	s := &Server{Pool: p, SharesPerHash: 5000, Clock: time.Now}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	return s
 }
 
 // ListenStratum starts accepting Stratum connections on addr (e.g.
@@ -53,6 +73,7 @@ func (s *Server) ListenStratum(addr string) (string, error) {
 	s.mu.Lock()
 	s.stratumLn = ln
 	s.mu.Unlock()
+	s.log.Info("stratum listening", "pool", s.Pool.Name, "addr", ln.Addr().String())
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -118,10 +139,12 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			}
 			if err := s.Pool.RegisterConnection(p.Login, remoteIP); err != nil {
+				s.log.Debug("login rejected", "ip", remoteIP, "err", err)
 				_ = codec.WriteJSON(&stratum.Response{ID: req.ID, Error: &stratum.Error{Code: -403, Message: err.Error()}})
 				continue
 			}
 			login = p.Login
+			s.log.Debug("miner login", "wallet", login, "ip", remoteIP)
 			result, _ := json.Marshal(&stratum.LoginResult{
 				ID:     fmt.Sprintf("%s-%s", s.Pool.Name, remoteIP),
 				Job:    s.newJob(),
@@ -204,6 +227,7 @@ func (s *Server) ListenHTTP(addr string) (string, error) {
 	s.httpSrv = srv
 	s.httpLn = ln
 	s.mu.Unlock()
+	s.log.Info("http stats listening", "pool", s.Pool.Name, "addr", ln.Addr().String())
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -295,6 +319,7 @@ func (s *Server) Close() error {
 		_ = httpSrv.Shutdown(ctx)
 	}
 	s.wg.Wait()
+	s.log.Info("server closed", "pool", s.Pool.Name, "sessions_cut", len(conns))
 	return nil
 }
 

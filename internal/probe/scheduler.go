@@ -3,6 +3,7 @@ package probe
 import (
 	"container/heap"
 	"context"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"cryptomining/internal/exchange"
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/profit"
 )
 
@@ -66,6 +68,13 @@ type Config struct {
 	BackoffMax  time.Duration
 	// Clock drives all waiting (default: wall clock).
 	Clock Clock
+	// Metrics, when set, makes the scheduler register its crawl telemetry
+	// (queue depth, in-flight probes, cache size/age, per-pool request,
+	// retry, terminal-error and rate-limit-wait counters) in the registry.
+	Metrics *obs.Registry
+	// Logger receives the scheduler's structured logs, scoped
+	// component=probe. Nil keeps the crawler silent (the library default).
+	Logger *slog.Logger
 }
 
 func (cfg Config) withDefaults() Config {
@@ -171,6 +180,9 @@ type Scheduler struct {
 	wake   chan struct{}
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// log is the component logger (never nil; silent by default).
+	log *slog.Logger
 }
 
 // New builds a scheduler (not yet crawling; call Start).
@@ -185,11 +197,83 @@ func New(cfg Config) *Scheduler {
 		pools:   map[string]*poolCounters{},
 		wake:    make(chan struct{}, 1),
 	}
+	s.log = obs.Component(cfg.Logger, "probe")
 	for _, name := range cfg.Source.Pools() {
 		s.buckets[name] = newTokenBucket(cfg.RatePerPool, cfg.Burst, s.clock.Now())
 		s.pools[name] = &poolCounters{}
 	}
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
 	return s
+}
+
+// registerMetrics wires the crawl telemetry into the registry. Everything
+// bridges existing counters and state via CounterFunc/GaugeFunc, so the
+// crawl itself pays nothing at probe time.
+func (s *Scheduler) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("probe_queue_depth", "Wallet probes queued.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue))
+	})
+	reg.GaugeFunc("probe_inflight", "Wallet probes currently crawling.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.inflight)
+	})
+	reg.GaugeFunc("probe_cache_size", "Wallets with a cached probe result.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.cache))
+	})
+	reg.GaugeFunc("probe_cache_errors", "Cached entries with unreachable pools recorded.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, ent := range s.cache {
+			if ent.Err != "" {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("probe_cache_oldest_age_seconds",
+		"Age of the stalest cache entry (0 with an empty cache).",
+		func() float64 {
+			now := s.clock.Now()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var oldest float64
+			for _, ent := range s.cache {
+				if age := now.Sub(ent.FetchedAt).Seconds(); age > oldest {
+					oldest = age
+				}
+			}
+			return oldest
+		})
+	reg.CounterFunc("probe_completed_total", "Probes ever finished (refreshes included).",
+		func() float64 { return float64(s.completed.Load()) })
+	reg.CounterFunc("probe_cache_hits_total", "CollectWallet reads served from the cache.",
+		func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("probe_cache_misses_total", "CollectWallet reads missing the cache.",
+		func() float64 { return float64(s.misses.Load()) })
+	for name, pc := range s.pools {
+		pc := pc
+		lbl := obs.L("pool", name)
+		reg.CounterFunc("probe_pool_requests_total", "Fetch attempts against the pool.",
+			func() float64 { return float64(atomic.LoadUint64(&pc.requests)) }, lbl)
+		reg.CounterFunc("probe_pool_retries_total", "Backoff retry rounds against the pool.",
+			func() float64 { return float64(atomic.LoadUint64(&pc.retries)) }, lbl)
+		reg.CounterFunc("probe_pool_failed_total",
+			"Probes that exhausted retries against the pool (terminal errors).",
+			func() float64 { return float64(atomic.LoadUint64(&pc.failed)) }, lbl)
+		reg.CounterFunc("probe_pool_throttled_seconds_total",
+			"Cumulative time spent waiting on the pool's rate limiter.",
+			func() float64 {
+				return time.Duration(atomic.LoadInt64(&pc.throttledNanos)).Seconds()
+			}, lbl)
+	}
 }
 
 // SetOnUpdate registers the completion consumer (at most one; the streaming
@@ -211,6 +295,9 @@ func (s *Scheduler) Start(ctx context.Context) {
 	s.mu.Unlock()
 
 	ctx, s.cancel = context.WithCancel(ctx)
+	s.log.Info("crawler started",
+		"workers", s.cfg.Workers, "ttl", s.cfg.TTL,
+		"rate_per_pool", s.cfg.RatePerPool, "pools", len(s.pools))
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(ctx)
@@ -504,6 +591,11 @@ func (s *Scheduler) probe(ctx context.Context, wallet string) {
 	}
 	if len(unreachable) > 0 {
 		ent.Err = "unreachable: " + strings.Join(unreachable, ", ")
+		s.log.Warn("probe finished with unreachable pools",
+			"wallet", wallet, "unreachable", unreachable)
+	} else {
+		s.log.Debug("probe finished",
+			"wallet", wallet, "xmr", ent.Activity.TotalXMR, "pools", len(perPool))
 	}
 	s.mu.Lock()
 	s.cache[wallet] = ent

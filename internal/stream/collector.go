@@ -124,7 +124,7 @@ func newCollector(e *Engine) *collector {
 // and decides (possibly retroactively, for earlier samples) what is kept.
 // It reports whether the sample was absorbed (false for duplicates, which
 // must not count toward analysis throughput).
-func (c *collector) handle(it *item) bool {
+func (c *collector) handle(it *Task) bool {
 	o := it.outcome
 	h := it.key
 	if _, seen := c.outcomes[h]; seen {

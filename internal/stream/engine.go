@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"slices"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"cryptomining/internal/binfmt"
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/profit"
 	"cryptomining/internal/report"
@@ -40,9 +42,13 @@ type Engine struct {
 	cfg      Config
 	analyzer *static.Analyzer
 	stats    *counters
+	// obs holds the engine's registered metric instruments (nil members when
+	// Config.Metrics is unset); log is the engine's component logger.
+	obs engineMetrics
+	log *slog.Logger
 
-	in       chan *item
-	outcomes chan *item
+	in       chan *Task
+	outcomes chan *Task
 	shards   []*shard
 
 	// mu serializes the collector's mutations with external reads (live
@@ -83,9 +89,98 @@ type Engine struct {
 	subs      map[int]chan Event
 	nextSubID int
 	evSeq     uint64
+	// evDrops counts events dropped on full subscriber buffers (atomic:
+	// read by the metrics exposition while publish writes it).
+	evDrops atomic.Int64
 	// drainedEv retains the terminal EventDrained so late subscribers still
 	// receive it (guarded by subMu).
 	drainedEv *Event
+}
+
+// engineMetrics is the engine's registered instrument set. All fields are
+// nil when metrics are disabled; the hot paths guard on that.
+type engineMetrics struct {
+	lockHold *obs.Histogram
+}
+
+// stageOptions composes the observer set for the stage at idx: the engine's
+// StageStats counters always, plus the self-registered latency histogram
+// when a metrics registry is configured. Both observers see the same
+// measured duration, so the exposition's per-stage counts agree with
+// StageStats.Processed exactly.
+func (e *Engine) stageOptions(idx int) []StageOption {
+	opts := []StageOption{
+		WithObserver(func(d time.Duration) { e.stats.observeStage(idx, d) }),
+	}
+	if e.cfg.Metrics != nil {
+		opts = append(opts, WithMetrics(e.cfg.Metrics))
+	}
+	return opts
+}
+
+// registerMetrics wires the engine's gauges, counters and histograms into
+// the registry. Counter-style families bridge the existing atomic counter
+// block via CounterFunc, so the hot path pays nothing new for them; only
+// the collector lock-hold histogram adds clock reads, and only when metrics
+// are enabled.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	e.obs.lockHold = reg.Histogram("stream_collector_lock_hold_seconds",
+		"Time the collector holds the engine mutex per absorbed sample or probe update.",
+		obs.LatencyBuckets)
+	reg.GaugeFunc("stream_queue_depth",
+		"Samples queued in the engine-wide bounded channels.",
+		func() float64 { return float64(len(e.in)) }, obs.L("queue", "intake"))
+	reg.GaugeFunc("stream_queue_depth", "",
+		func() float64 { return float64(len(e.outcomes)) }, obs.L("queue", "outcomes"))
+	reg.GaugeFunc("stream_shard_backlog",
+		"Samples queued in per-shard stage channels, summed across shards.",
+		func() float64 {
+			n := 0
+			for _, sh := range e.shards {
+				for _, ch := range sh.chans {
+					n += len(ch)
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("stream_shards", "Concurrent stage chains.",
+		func() float64 { return float64(len(e.shards)) })
+	counterFuncs := []struct {
+		name, help string
+		src        *atomic.Int64
+	}{
+		{"stream_samples_submitted_total", "Samples entering the dataflow.", &e.stats.submitted},
+		{"stream_samples_analyzed_total", "Distinct samples absorbed by the collector.", &e.stats.analyzed},
+		{"stream_samples_duplicate_total", "Re-observed hashes dropped by the collector.", &e.stats.duplicates},
+		{"stream_samples_kept_total", "Samples kept in the dataset (miners + ancillaries).", &e.stats.kept},
+		{"stream_miners_total", "Kept samples classified as miners.", &e.stats.miners},
+		{"stream_illicit_wallet_flips_total", "Below-threshold samples retroactively kept by the illicit-wallet exception.", &e.stats.flips},
+	}
+	for _, cf := range counterFuncs {
+		src := cf.src
+		reg.CounterFunc(cf.name, cf.help, func() float64 { return float64(src.Load()) })
+	}
+	reg.GaugeFunc("stream_campaigns", "Live campaigns discovered so far.",
+		func() float64 { return float64(e.stats.campaigns.Load()) })
+	reg.GaugeFunc("stream_wallets", "Distinct non-donation wallets priced so far.",
+		func() float64 { return float64(e.stats.wallets.Load()) })
+	reg.GaugeFunc("stream_profit_xmr", "Running priced-XMR total.", e.stats.liveXMR)
+	reg.CounterFunc("stream_events_published_total",
+		"Events fanned out to subscribers (before per-subscriber drops).",
+		func() float64 {
+			e.subMu.Lock()
+			defer e.subMu.Unlock()
+			return float64(e.evSeq)
+		})
+	reg.CounterFunc("stream_events_dropped_total",
+		"Events dropped because a subscriber's buffer was full.",
+		func() float64 { return float64(e.evDrops.Load()) })
+	reg.GaugeFunc("stream_event_subscribers", "Live event subscriptions.",
+		func() float64 {
+			e.subMu.Lock()
+			defer e.subMu.Unlock()
+			return float64(len(e.subs))
+		})
 }
 
 // New creates an engine; call Start before submitting. The shard structures
@@ -98,8 +193,9 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		analyzer: static.New(),
 		stats:    newCounters(),
-		in:       make(chan *item, cfg.QueueDepth),
-		outcomes: make(chan *item, cfg.QueueDepth),
+		log:      obs.Component(cfg.Logger, "stream"),
+		in:       make(chan *Task, cfg.QueueDepth),
+		outcomes: make(chan *Task, cfg.QueueDepth),
 		done:     make(chan struct{}),
 		ackLow:   1,
 		ackAbove: map[uint64]struct{}{},
@@ -122,6 +218,9 @@ func New(cfg Config) *Engine {
 	if cfg.Prober != nil {
 		cfg.Prober.SetOnUpdate(e.onProbeUpdate)
 	}
+	if cfg.Metrics != nil {
+		e.registerMetrics(cfg.Metrics)
+	}
 	return e
 }
 
@@ -132,6 +231,10 @@ func New(cfg Config) *Engine {
 // finalize are dropped — the results are sealed, and re-pricing would mutate
 // campaigns shared with the returned Results.
 func (e *Engine) onProbeUpdate(u probe.Update) {
+	var t0 time.Time
+	if e.obs.lockHold != nil {
+		t0 = time.Now()
+	}
 	e.mu.Lock()
 	if e.col.finalized {
 		e.mu.Unlock()
@@ -162,6 +265,9 @@ func (e *Engine) onProbeUpdate(u probe.Update) {
 	}
 	e.publish(ev)
 	e.mu.Unlock()
+	if e.obs.lockHold != nil {
+		e.obs.lockHold.Observe(time.Since(t0).Seconds())
+	}
 }
 
 // Start launches the dispatcher, the sharded stage chains and the collector.
@@ -177,10 +283,10 @@ func (e *Engine) Start(ctx context.Context) {
 		var enrichWG sync.WaitGroup
 		for _, s := range e.shards {
 			for st := 0; st < numStages-1; st++ {
-				go e.runStage(ctx, st, s.chans[st], s.chans[st+1], true, s.stageFn(st), nil)
+				go e.runStage(ctx, s.stages[st], s.chans[st], s.chans[st+1], true, nil)
 			}
 			enrichWG.Add(1)
-			go e.runStage(ctx, numStages-1, s.chans[numStages-1], e.outcomes, false, s.stageFn(numStages-1), &enrichWG)
+			go e.runStage(ctx, s.stages[numStages-1], s.chans[numStages-1], e.outcomes, false, &enrichWG)
 		}
 		go func() {
 			enrichWG.Wait()
@@ -195,8 +301,10 @@ func (e *Engine) Start(ctx context.Context) {
 	})
 }
 
-// runStage pumps items through one stage, recording per-stage latency.
-func (e *Engine) runStage(ctx context.Context, idx int, in <-chan *item, out chan<- *item, closeOut bool, fn func(*item), wg *sync.WaitGroup) {
+// runStage pumps tasks through one stage. Latency accounting lives inside
+// Stage.Process (see stageOptions), so the engine's StageStats and the
+// stage's self-registered histogram observe the same measurement.
+func (e *Engine) runStage(ctx context.Context, st Stage, in <-chan *Task, out chan<- *Task, closeOut bool, wg *sync.WaitGroup) {
 	if wg != nil {
 		defer wg.Done()
 	}
@@ -211,9 +319,7 @@ func (e *Engine) runStage(ctx context.Context, idx int, in <-chan *item, out cha
 			if !ok {
 				return
 			}
-			t0 := time.Now()
-			fn(it)
-			e.stats.observeStage(idx, time.Since(t0))
+			st.Process(it)
 			select {
 			case out <- it:
 			case <-ctx.Done():
@@ -260,6 +366,10 @@ func (e *Engine) collect(ctx context.Context) {
 			if !ok {
 				return
 			}
+			var t0 time.Time
+			if e.obs.lockHold != nil {
+				t0 = time.Now()
+			}
 			e.mu.Lock()
 			// One clock read covers every series point this sample records
 			// (arrival, keep, retroactive keeps it triggers), keeping the
@@ -281,6 +391,9 @@ func (e *Engine) collect(ctx context.Context) {
 				e.ackSeq(it.seq)
 			}
 			e.mu.Unlock()
+			if e.obs.lockHold != nil {
+				e.obs.lockHold.Observe(time.Since(t0).Seconds())
+			}
 		}
 	}
 }
@@ -351,7 +464,7 @@ func (e *Engine) submit(ctx context.Context, sample *model.Sample, seq uint64) e
 		sample = &hashed
 		sha = sample.SHA256
 	}
-	it := &item{sample: sample, key: lowerHash(sha), seq: seq}
+	it := &Task{sample: sample, key: lowerHash(sha), seq: seq}
 	select {
 	case e.in <- it:
 		e.stats.submitted.Add(1)

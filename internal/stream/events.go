@@ -101,6 +101,7 @@ func (e *Engine) publish(ev Event) {
 		select {
 		case ch <- ev:
 		default: // slow subscriber: drop rather than stall ingestion
+			e.evDrops.Add(1)
 		}
 		if terminal {
 			// Close even when the full buffer dropped the drained event

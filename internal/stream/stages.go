@@ -10,7 +10,6 @@ import (
 	"cryptomining/internal/model"
 	"cryptomining/internal/pool"
 	"cryptomining/internal/sandbox"
-	"cryptomining/internal/static"
 )
 
 // Stage indices of the per-shard chain, in dataflow order.
@@ -25,25 +24,6 @@ const (
 // StageNames names the stages in dataflow order, indexed like the per-stage
 // latency counters.
 var StageNames = [numStages]string{"sanity", "static", "sandbox", "enrich"}
-
-// item is one sample traveling the stage chain, accumulating analysis
-// artefacts on the way to the collector.
-type item struct {
-	sample *model.Sample
-	// key is the lowercase hash the sample is keyed (and sharded) by.
-	key string
-	// seq is the caller-assigned submission sequence (SubmitSeq); zero for
-	// untracked submissions. The collector acks it after processing.
-	seq uint64
-
-	outcome *SampleOutcome
-	report  *model.AVReport
-	// labels are the detected AV labels, for PPI-botnet enrichment.
-	labels  []string
-	cls     avsim.Classification
-	static  *static.Result
-	dynamic *sandbox.Report
-}
 
 // avEntry caches one AV report and its detected labels.
 type avEntry struct {
@@ -89,10 +69,15 @@ func (r *cachingResolver) Resolve(name string) (dnssim.Resolution, error) {
 // cache is touched by exactly one stage goroutine, so none of them locks.
 type shard struct {
 	e  *Engine
-	in chan *item
+	in chan *Task
 	// chans[i] feeds stage i; the enrich stage writes to the engine-wide
 	// outcomes channel instead.
-	chans [numStages]chan *item
+	chans [numStages]chan *Task
+	// stages is the composed, contract-typed chain in dataflow order. Each
+	// stage carries its own latency observers (engine StageStats plus, when
+	// metrics are enabled, the self-registered histogram), so every Process
+	// call updates both from one measurement.
+	stages [numStages]Stage
 
 	box *sandbox.Sandbox
 	// avCache memoizes AV reports+labels (sanity stage only).
@@ -107,37 +92,32 @@ func newShard(e *Engine) *shard {
 		avCache:   map[string]avEntry{},
 		poolCache: map[string]bool{},
 	}
-	s.chans[0] = make(chan *item, e.cfg.QueueDepth)
+	s.chans[0] = make(chan *Task, e.cfg.QueueDepth)
 	s.in = s.chans[0]
 	for i := 1; i < numStages; i++ {
-		s.chans[i] = make(chan *item, e.cfg.QueueDepth)
+		s.chans[i] = make(chan *Task, e.cfg.QueueDepth)
 	}
 	if e.cfg.Resolver != nil {
 		s.box = sandbox.NewWithResolver(&cachingResolver{inner: e.cfg.Resolver, cache: map[string]resolverEntry{}})
 	} else {
 		s.box = sandbox.NewWithResolver(nil)
 	}
-	return s
-}
-
-// stageFn returns the stage function at index idx.
-func (s *shard) stageFn(idx int) func(*item) {
-	switch idx {
-	case stageSanity:
-		return s.sanity
-	case stageStatic:
-		return s.staticStage
-	case stageSandbox:
-		return s.sandboxStage
-	default:
-		return s.enrich
+	fns := [numStages]func(*Task){
+		stageSanity:  s.sanity,
+		stageStatic:  s.staticStage,
+		stageSandbox: s.sandboxStage,
+		stageEnrich:  s.enrich,
 	}
+	for idx, fn := range fns {
+		s.stages[idx] = NewStage(StageNames[idx], fn, e.stageOptions(idx)...)
+	}
+	return s
 }
 
 // sanity runs the "is it an executable? is it malware?" checks: magic-number
 // format detection, stock-tool whitelist, AV report (cached per shard) and
 // the positives-threshold classification.
-func (s *shard) sanity(it *item) {
+func (s *shard) sanity(it *Task) {
 	o := &SampleOutcome{SHA256: it.sample.SHA256}
 	it.outcome = o
 	o.Executable = isExecutableFormat(binfmt.DetectFormat(it.sample.Content))
@@ -172,14 +152,14 @@ func (s *shard) sanity(it *item) {
 
 // staticStage runs the full static pass (strings, identifiers, endpoints,
 // YARA, packer/entropy).
-func (s *shard) staticStage(it *item) {
+func (s *shard) staticStage(it *Task) {
 	st := s.e.analyzer.Analyze(it.sample.Content)
 	it.static = &st
 }
 
 // sandboxStage executes the sample in the (simulated) sandbox and merges all
 // analyses into the Table I extraction record.
-func (s *shard) sandboxStage(it *item) {
+func (s *shard) sandboxStage(it *Task) {
 	it.dynamic = s.box.Run(it.sample.SHA256, it.sample.Content)
 	it.outcome.Record = extract.Extract(extract.Inputs{
 		Sample:   it.sample,
@@ -192,7 +172,7 @@ func (s *shard) sandboxStage(it *item) {
 // enrich decides the miner verdict: YARA rules, observed Stratum traffic, a
 // recovered (wallet, pool) pair, known-pool DNS resolutions, or >=threshold
 // engines labeling the sample as a miner.
-func (s *shard) enrich(it *item) {
+func (s *shard) enrich(it *Task) {
 	o := it.outcome
 	o.IsMiner = len(it.static.YARAMatches) > 0 ||
 		it.dynamic.MiningObserved ||

@@ -26,6 +26,7 @@
 package stream
 
 import (
+	"log/slog"
 	"runtime"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"cryptomining/internal/dnssim"
 	"cryptomining/internal/exchange"
 	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/osint"
 	"cryptomining/internal/pool"
 	"cryptomining/internal/pow"
@@ -100,6 +102,16 @@ type Config struct {
 	// bit-identical to the synchronous batch path. Nil keeps the historical
 	// in-line collection.
 	Prober *probe.Scheduler
+
+	// Metrics, when set, makes the engine register and maintain its
+	// instrument set (stage latency histograms, queue-depth gauges,
+	// throughput counters, collector lock-hold timing) in the registry for
+	// /metrics exposition. Nil disables instrumentation; the hot path then
+	// pays nothing beyond the StageStats counters it always kept.
+	Metrics *obs.Registry
+	// Logger receives the engine's structured logs, scoped with
+	// component=stream. Nil keeps the engine silent (the library default).
+	Logger *slog.Logger
 }
 
 // TimeseriesOptions configures the engine's longitudinal metrics.

@@ -32,6 +32,9 @@ type Error struct {
 	Code string `json:"code"`
 	// Message is a human-readable explanation.
 	Message string `json:"message"`
+	// RequestID echoes the X-Request-ID the failing request was served
+	// under, so an error report correlates with the server's request log.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorEnvelope wraps every non-2xx response body:

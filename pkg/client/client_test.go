@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
-	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -56,7 +55,6 @@ func newDaemon(t *testing.T, mutate func(*api.Config)) *daemon {
 
 	cfg := api.Config{
 		Engine: d.eng,
-		Logger: log.New(io.Discard, "", 0),
 		Results: func() *stream.Results {
 			d.mu.Lock()
 			defer d.mu.Unlock()

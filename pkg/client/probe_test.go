@@ -4,8 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"io"
-	"log"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -27,7 +25,6 @@ func newDaemonWithEngine(t *testing.T, eng *stream.Engine, mutate func(*api.Conf
 	d.eng.Start(context.Background())
 	cfg := api.Config{
 		Engine: d.eng,
-		Logger: log.New(io.Discard, "", 0),
 		Results: func() *stream.Results {
 			d.mu.Lock()
 			defer d.mu.Unlock()
