@@ -15,6 +15,7 @@ import (
 	"cryptomining/internal/api"
 	"cryptomining/internal/core"
 	"cryptomining/internal/ecosim"
+	"cryptomining/internal/obs"
 	"cryptomining/internal/stream"
 	"cryptomining/pkg/apiv1"
 )
@@ -495,3 +496,82 @@ func (s *lineScanner) Scan() bool {
 }
 
 func (s *lineScanner) Text() string { return string(s.line) }
+
+// TestRequestIDValidation: client-supplied correlation IDs are echoed only
+// when drawn from the safe charset; anything else (injection attempts, over
+// length) is replaced with a server-minted ID.
+func TestRequestIDValidation(t *testing.T) {
+	srv := api.New(api.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	send := func(id string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set(api.RequestIDHeader, id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get(api.RequestIDHeader)
+	}
+
+	if got := send("trace-41.A_z"); got != "trace-41.A_z" {
+		t.Fatalf("valid ID not echoed: got %q", got)
+	}
+	for _, bad := range []string{
+		`evil"id`, "sp ace", "semi;colon", "curly{}", strings.Repeat("a", 129),
+	} {
+		if got := send(bad); got == bad || got == "" {
+			t.Fatalf("unsafe ID %q echoed as %q, want server-minted replacement", bad, got)
+		}
+	}
+}
+
+// TestPanicKeepsInflightGauge: a handler panic must still decrement the
+// inflight gauge and record the request (recoverPanics wraps outside the
+// instrumentation, so only a deferred decrement survives the unwind).
+func TestPanicKeepsInflightGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	// No engine: /api/v1/stats panics on the nil engine, recovered to a 500.
+	srv := api.New(api.Config{Metrics: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/api/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "\napi_inflight_requests 0\n") {
+		t.Fatalf("inflight gauge leaked after panics:\n%s", text)
+	}
+	want := `api_requests_total{method="GET",route="/api/v1/stats",status="500"} 3`
+	if !strings.Contains(text, want) {
+		t.Fatalf("panicked requests not counted (want %q):\n%s", want, text)
+	}
+}

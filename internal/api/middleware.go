@@ -48,16 +48,36 @@ func (g *requestIDSource) next() string {
 	return fmt.Sprintf("%s-%06d", g.prefix, g.n.Add(1))
 }
 
+// validRequestID reports whether a client-supplied correlation ID is safe to
+// echo into headers, error envelopes and logs: 1..128 bytes drawn from
+// [A-Za-z0-9._-]. Anything else is replaced with a server-minted ID so
+// clients cannot inject arbitrary content into correlation streams.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // requestIDs assigns each request its correlation ID: an incoming
-// X-Request-ID is honored (so a client can stitch its own traces through),
-// otherwise a fresh one is minted. The ID is set on the response header
-// BEFORE the handler runs — which is how the error envelope writer can read
-// it back without threading it through every handler signature — and stored
-// in the request context for handlers that want it.
+// X-Request-ID is honored when it passes validRequestID (so a client can
+// stitch its own traces through), otherwise a fresh one is minted. The ID is
+// set on the response header BEFORE the handler runs — which is how the error
+// envelope writer can read it back without threading it through every handler
+// signature — and stored in the request context for handlers that want it.
 func (s *Server) requestIDs(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(RequestIDHeader)
-		if id == "" || len(id) > 128 {
+		if !validRequestID(id) {
 			id = s.reqID.next()
 		}
 		w.Header().Set(RequestIDHeader, id)
@@ -93,16 +113,29 @@ func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		s.met.inflight.Add(1)
 		start := time.Now()
+		completed := false
+		// Deferred so the gauge and observations survive handler panics:
+		// recoverPanics wraps OUTSIDE instrument, so without the defer a
+		// panicking handler would leak an inflight increment forever.
+		defer func() {
+			s.met.inflight.Add(-1)
+			if sw.status == 0 {
+				if completed {
+					sw.status = http.StatusOK
+				} else {
+					// Panicked before writing anything; recoverPanics will
+					// answer 500 (or drop the connection on ErrAbortHandler).
+					sw.status = http.StatusInternalServerError
+				}
+			}
+			lat.Observe(time.Since(start).Seconds())
+			size.Observe(float64(sw.bytes))
+			s.met.reg.Counter("api_requests_total", "Requests served by route, method and status.",
+				obs.L("route", pattern), obs.L("method", r.Method),
+				obs.L("status", fmt.Sprint(sw.status))).Inc()
+		}()
 		h.ServeHTTP(sw, r)
-		s.met.inflight.Add(-1)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		lat.Observe(time.Since(start).Seconds())
-		size.Observe(float64(sw.bytes))
-		s.met.reg.Counter("api_requests_total", "Requests served by route, method and status.",
-			obs.L("route", pattern), obs.L("method", r.Method),
-			obs.L("status", fmt.Sprint(sw.status))).Inc()
+		completed = true
 	})
 }
 

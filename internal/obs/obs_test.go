@@ -276,3 +276,45 @@ func TestComponentNilBase(t *testing.T) {
 		t.Fatalf("component attr missing: %q", buf.String())
 	}
 }
+
+// TestWritePrometheusConcurrentRegister exercises the scrape path against
+// lazy instrument registration (e.g. a first-seen route/status creating a
+// counter mid-scrape). Under -race this fails if WritePrometheus iterates a
+// family's instrument map outside the registry lock.
+func TestWritePrometheusConcurrentRegister(t *testing.T) {
+	r := NewRegistry()
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("lazy_total", "",
+					L("route", strings.Repeat("x", g+1)+string(rune('a'+i%26))),
+					L("n", string(rune('0'+i%10)))).Inc()
+				r.Histogram("lazy_seconds", "", []float64{0.1, 1},
+					L("n", string(rune('0'+i%10)))).Observe(0.05)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// Validation happens on the test goroutine after the writers
+				// finish; here the scrape itself is the race under test.
+				_ = render(r)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	requireValidExposition(t, render(r))
+}

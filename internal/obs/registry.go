@@ -201,15 +201,39 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 // sorted by label signature, so successive scrapes of unchanged state are
 // byte-identical.
 func (r *Registry) WritePrometheus(b *strings.Builder) {
+	// Snapshot families AND their instrument maps under the lock: register()
+	// mutates f.instruments lazily (e.g. a first-seen route/status creating a
+	// counter mid-scrape), so the maps must not be iterated unlocked. The
+	// instruments themselves are atomics and render safely outside the lock.
+	type famSnap struct {
+		name, help, typ string
+		sigs            []string
+		insts           []instrument
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
+	fams := make([]famSnap, 0, len(names))
 	for _, name := range names {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		fs := famSnap{
+			name:  f.name,
+			help:  f.help,
+			typ:   f.typ,
+			sigs:  make([]string, 0, len(f.instruments)),
+			insts: make([]instrument, 0, len(f.instruments)),
+		}
+		for sig := range f.instruments {
+			fs.sigs = append(fs.sigs, sig)
+		}
+		sort.Strings(fs.sigs)
+		for _, sig := range fs.sigs {
+			fs.insts = append(fs.insts, f.instruments[sig])
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 
@@ -218,13 +242,8 @@ func (r *Registry) WritePrometheus(b *strings.Builder) {
 			fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
-		sigs := make([]string, 0, len(f.instruments))
-		for sig := range f.instruments {
-			sigs = append(sigs, sig)
-		}
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			f.instruments[sig].write(b, f.name, sig)
+		for i, sig := range f.sigs {
+			f.insts[i].write(b, f.name, sig)
 		}
 	}
 }

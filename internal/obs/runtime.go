@@ -1,24 +1,45 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader shares one runtime.ReadMemStats snapshot between every
+// runtime instrument in a scrape. ReadMemStats stops the world, so paying it
+// once per scrape instead of once per instrument matters; the short TTL is
+// just long enough to cover one exposition pass (instruments render
+// microseconds apart) without serving stale numbers to the next scrape.
+type memStatsReader struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+const memStatsTTL = 100 * time.Millisecond
+
+func (c *memStatsReader) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > memStatsTTL {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+	}
+	return c.ms
+}
 
 // RegisterRuntimeMetrics registers process-level gauges (goroutine count,
 // heap usage, GC cycles) read lazily at scrape time. ReadMemStats briefly
 // stops the world, so scrape cost is paid by the scraper, never by the
-// workload between scrapes.
+// workload between scrapes — and only once per scrape, shared across the
+// MemStats-backed instruments.
 func RegisterRuntimeMetrics(reg *Registry) {
+	msr := &memStatsReader{}
 	reg.GaugeFunc("go_goroutines", "Live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("go_heap_alloc_bytes", "Heap bytes currently allocated.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.HeapAlloc)
-		})
+		func() float64 { return float64(msr.read().HeapAlloc) })
 	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.NumGC)
-		})
+		func() float64 { return float64(msr.read().NumGC) })
 }
