@@ -1,0 +1,290 @@
+// Command loadgen drives the daemon's read tier with tens of thousands of
+// concurrent SDK clients and reports what it sustained: request rate,
+// latency quantiles and the conditional-revalidation hit rate.
+//
+//	loadgen -addr http://127.0.0.1:8090 -clients 10000 -duration 30s \
+//	        -out BENCH_api.json
+//
+// Each logical client is its own pkg/client.Client looping over the read
+// surface — conditional campaign listings (reusing the last ETag, the way a
+// well-behaved poller does), campaign detail fetches and stats polls — all
+// multiplexed over one shared HTTP transport so the generator itself stays
+// inside the file-descriptor budget. The exit status is non-zero when the
+// run saw any 5xx or transport error, which is what lets CI use the same
+// binary as a smoke gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cryptomining/pkg/client"
+)
+
+// latHist is a fixed-ladder log-scale latency histogram. Workers each own
+// one (no contention on the hot path) and the ladders merge by index.
+type latHist struct {
+	counts [nLatBuckets]int64
+}
+
+// The ladder spans 50µs..~107s doubling per bucket: fine enough for p50 on
+// an in-memory API, wide enough to capture a stalled request.
+const (
+	nLatBuckets  = 22
+	latBase      = 50 * time.Microsecond
+	latBucketCap = nLatBuckets - 1
+)
+
+func latBucket(d time.Duration) int {
+	if d <= latBase {
+		return 0
+	}
+	b := int(math.Log2(float64(d) / float64(latBase)))
+	if b > latBucketCap {
+		return latBucketCap
+	}
+	return b
+}
+
+// latBoundMS is the upper bound of bucket b in milliseconds.
+func latBoundMS(b int) float64 {
+	return float64(latBase) * math.Pow(2, float64(b+1)) / float64(time.Millisecond)
+}
+
+func (h *latHist) observe(d time.Duration) { h.counts[latBucket(d)]++ }
+
+func (h *latHist) merge(o *latHist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation — a conservative estimate, never under the true quantile by
+// more than one bucket width.
+func (h *latHist) quantile(q float64) float64 {
+	var total int64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return latBoundMS(i)
+		}
+	}
+	return latBoundMS(latBucketCap)
+}
+
+// workerStats is one worker's tally, merged after the run.
+type workerStats struct {
+	requests    int64
+	statuses    map[int]int64 // HTTP status -> count (0 = transport error)
+	notModified int64
+	lat         latHist
+}
+
+// benchReport is the BENCH_api.json shape.
+type benchReport struct {
+	Clients         int              `json:"clients"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Requests        int64            `json:"requests"`
+	RPS             float64          `json:"rps"`
+	P50Ms           float64          `json:"p50_ms"`
+	P99Ms           float64          `json:"p99_ms"`
+	NotModified     int64            `json:"not_modified"`
+	NotModifiedRate float64          `json:"not_modified_rate"`
+	Statuses        map[string]int64 `json:"statuses"`
+	TransportErrors int64            `json:"transport_errors"`
+	ServerErrors    int64            `json:"server_errors"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8090", "daemon base URL")
+		clients  = flag.Int("clients", 10000, "concurrent logical clients")
+		duration = flag.Duration("duration", 30*time.Second, "sustained load duration")
+		out      = flag.String("out", "BENCH_api.json", "benchmark report path ('' = stdout only)")
+		conns    = flag.Int("conns", 512, "shared transport connection cap")
+	)
+	flag.Parse()
+	if *clients <= 0 || *duration <= 0 {
+		log.Fatal("loadgen: -clients and -duration must be positive")
+	}
+
+	// One transport for the whole fleet: the point is concurrency at the
+	// request level, not one TCP connection per logical client — 10k sockets
+	// would say more about the generator's fd limit than about the server.
+	transport := &http.Transport{
+		MaxIdleConns:        *conns,
+		MaxIdleConnsPerHost: *conns,
+		MaxConnsPerHost:     *conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	hc := &http.Client{Transport: transport}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	stats := make([]*workerStats, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		ws := &workerStats{statuses: map[int]int64{}}
+		stats[i] = ws
+		wg.Add(1)
+		go func(id int, ws *workerStats) {
+			defer wg.Done()
+			cl, err := client.New(*addr, client.WithHTTPClient(hc))
+			if err != nil {
+				log.Fatalf("loadgen: %v", err)
+			}
+			runWorker(ctx, cl, id, ws)
+		}(i, ws)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := &workerStats{statuses: map[int]int64{}}
+	for _, ws := range stats {
+		merged.requests += ws.requests
+		merged.notModified += ws.notModified
+		merged.lat.merge(&ws.lat)
+		for s, n := range ws.statuses {
+			merged.statuses[s] += n
+		}
+	}
+
+	rep := benchReport{
+		Clients:         *clients,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        merged.requests,
+		RPS:             float64(merged.requests) / elapsed.Seconds(),
+		P50Ms:           merged.lat.quantile(0.50),
+		P99Ms:           merged.lat.quantile(0.99),
+		NotModified:     merged.notModified,
+		Statuses:        map[string]int64{},
+	}
+	if merged.requests > 0 {
+		rep.NotModifiedRate = float64(merged.notModified) / float64(merged.requests)
+	}
+	for s, n := range merged.statuses {
+		key := strconv.Itoa(s)
+		if s == 0 {
+			key = "error"
+			rep.TransportErrors += n
+		}
+		if s >= 500 {
+			rep.ServerErrors += n
+		}
+		rep.Statuses[key] = n
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: encode report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *out, err)
+		}
+	}
+	os.Stdout.Write(buf)
+	printStatusLine(rep)
+	if rep.ServerErrors > 0 || rep.TransportErrors > 0 {
+		os.Exit(1)
+	}
+	if merged.requests == 0 {
+		log.Fatal("loadgen: no requests completed")
+	}
+}
+
+func printStatusLine(rep benchReport) {
+	keys := make([]string, 0, len(rep.Statuses))
+	for k := range rep.Statuses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	line := fmt.Sprintf("loadgen: %d clients, %.1fs: %d requests (%.0f rps), p50 %.2fms p99 %.2fms, %.1f%% 304",
+		rep.Clients, rep.DurationSeconds, rep.Requests, rep.RPS, rep.P50Ms, rep.P99Ms, rep.NotModifiedRate*100)
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%d", k, rep.Statuses[k])
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// runWorker loops one logical client over the read surface until the run
+// context expires. The loop mimics a polling dashboard: conditional
+// campaign-listing fetches that reuse the last validator, with periodic
+// stats polls and detail fetches mixed in.
+func runWorker(ctx context.Context, cl *client.Client, id int, ws *workerStats) {
+	etag := ""
+	detailID := 1 + id%16
+	for n := 0; ; n++ {
+		if ctx.Err() != nil {
+			return
+		}
+		begin := time.Now()
+		var err error
+		var notModified bool
+		switch n % 8 {
+		case 5:
+			_, err = cl.Stats(ctx)
+		case 7:
+			_, _, notModified, err = cl.CampaignConditional(ctx, detailID, "")
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.StatusCode == 404 {
+				// A small dataset may not have this many campaigns; the 404
+				// is a correct answer, not a failure.
+				err = nil
+			}
+		default:
+			var newETag string
+			_, newETag, notModified, err = cl.CampaignsConditional(ctx, client.CampaignQuery{}, etag)
+			if err == nil && newETag != "" {
+				etag = newETag
+			}
+		}
+		ws.record(time.Since(begin), notModified, err, ctx)
+	}
+}
+
+// record tallies one completed request. Context-expiry failures at the end
+// of the run are not requests gone wrong and are dropped.
+func (ws *workerStats) record(d time.Duration, notModified bool, err error, ctx context.Context) {
+	if err != nil && ctx.Err() != nil {
+		return
+	}
+	ws.requests++
+	ws.lat.observe(d)
+	status := 200
+	if notModified {
+		status = 304
+		ws.notModified++
+	}
+	if err != nil {
+		status = 0
+		var ae *client.APIError
+		if errors.As(err, &ae) {
+			status = ae.StatusCode
+		}
+	}
+	ws.statuses[status]++
+}

@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"cryptomining/internal/model"
@@ -37,8 +38,13 @@ func main() {
 		historic    = flag.Bool("historic-hashrate", false, "expose the historic per-wallet hashrate series (minexmr in the paper)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat   = flag.String("log-format", obs.FormatText, "log output format: text or json")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("poolserver %s (%s)\n", obs.Version, runtime.Version())
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {

@@ -72,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -114,8 +115,15 @@ func main() {
 		debugAddr      = flag.String("debug-addr", "", "serve net/http/pprof (and a /metrics mirror) on this address (empty = pprof off)")
 		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat      = flag.String("log-format", "text", "log output format: text or json")
+		apiRate        = flag.Float64("api-rate", 0, "per-client GET rate limit in requests/sec (0 = unlimited); excess answers 429 + Retry-After")
+		apiBurst       = flag.Int("api-burst", 0, "per-client rate-limit burst depth (0 = -api-rate rounded up)")
+		version        = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("streamd %s (%s)\n", obs.Version, runtime.Version())
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -136,6 +144,7 @@ func main() {
 	// renders them in one exposition.
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterBuildInfo(reg)
 
 	levels, err := validateFlags(flagValues{
 		scale:           *scale,
@@ -149,6 +158,8 @@ func main() {
 		probeWorkers:    *probeWorkers,
 		noSeries:        *noSeries,
 		seriesRetention: *seriesRet,
+		apiRate:         *apiRate,
+		apiBurst:        *apiBurst,
 	})
 	if err != nil {
 		fatal("invalid flags", "err", err)
@@ -303,6 +314,8 @@ func main() {
 		Probe:       prober,
 		Logger:      logger,
 		Metrics:     reg,
+		RateLimit:   *apiRate,
+		RateBurst:   *apiBurst,
 		Results: func() *stream.Results {
 			mu.Lock()
 			defer mu.Unlock()
@@ -337,7 +350,16 @@ func main() {
 	if err != nil {
 		fatal("http listen", "addr", *httpAddr, "err", err)
 	}
-	srv := &http.Server{Handler: api.New(apiCfg).Handler()}
+	// Header and idle timeouts bound what a slow or silent peer can pin:
+	// without them, a client that never finishes its headers (or parks an
+	// idle keep-alive connection forever) holds a file descriptor for the
+	// daemon's lifetime. Streaming responses (/api/v1/events) are unaffected
+	// — neither bound covers an in-flight response body.
+	srv := &http.Server{
+		Handler:           api.New(apiCfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatal("http serve", "err", err)
@@ -428,6 +450,20 @@ func main() {
 // scrape anomaly). Both serve read-only diagnostics; neither touches the
 // ingest path.
 func startAuxListeners(logd *slog.Logger, fatal func(string, ...any), reg *obs.Registry, metricsAddr, debugAddr string) {
+	// Same slow-peer bounds as the main API server: the side listeners are
+	// just as capable of accumulating half-open or parked connections.
+	serve := func(ln net.Listener, mux *http.ServeMux, onErr func(error)) {
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				onErr(err)
+			}
+		}()
+	}
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
@@ -435,11 +471,7 @@ func startAuxListeners(logd *slog.Logger, fatal func(string, ...any), reg *obs.R
 		if err != nil {
 			fatal("metrics listen", "addr", metricsAddr, "err", err)
 		}
-		go func() {
-			if err := http.Serve(ln, mux); err != nil && err != http.ErrServerClosed {
-				logd.Error("metrics serve", "err", err)
-			}
-		}()
+		serve(ln, mux, func(err error) { logd.Error("metrics serve", "err", err) })
 		logd.Info("metrics exposition up", "addr", "http://"+ln.Addr().String()+"/metrics")
 	}
 	if debugAddr != "" {
@@ -454,11 +486,7 @@ func startAuxListeners(logd *slog.Logger, fatal func(string, ...any), reg *obs.R
 		if err != nil {
 			fatal("debug listen", "addr", debugAddr, "err", err)
 		}
-		go func() {
-			if err := http.Serve(ln, mux); err != nil && err != http.ErrServerClosed {
-				logd.Error("debug serve", "err", err)
-			}
-		}()
+		serve(ln, mux, func(err error) { logd.Error("debug serve", "err", err) })
 		logd.Info("pprof debug surface up", "addr", "http://"+ln.Addr().String()+"/debug/pprof/")
 	}
 }
@@ -481,6 +509,8 @@ type flagValues struct {
 	probeWorkers    int
 	noSeries        bool
 	seriesRetention string
+	apiRate         float64
+	apiBurst        int
 }
 
 // validateFlags rejects flag values that would otherwise produce undefined
@@ -516,6 +546,12 @@ func validateFlags(v flagValues) ([]timeseries.LevelSpec, error) {
 	}
 	if v.probeWorkers < 0 {
 		return nil, fmt.Errorf("-probe-workers %d: must be >= 0 (0 = default)", v.probeWorkers)
+	}
+	if v.apiRate < 0 {
+		return nil, fmt.Errorf("-api-rate %v: must be >= 0 (0 = unlimited)", v.apiRate)
+	}
+	if v.apiBurst < 0 {
+		return nil, fmt.Errorf("-api-burst %d: must be >= 0 (0 = default)", v.apiBurst)
 	}
 	if v.noSeries {
 		return nil, nil

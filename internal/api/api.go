@@ -41,6 +41,13 @@
 // Legacy aliases (/stats, /campaigns?n=, /results, /checkpoint, /healthz)
 // keep their historical shapes but share the v1 internals — including the
 // method guards and the 503+Retry-After pending-results behaviour.
+//
+// The read tier serves exclusively from the engine's published snapshot
+// (stream.View): no GET acquires the collector mutex, the snapshot epoch is
+// the strong ETag (If-None-Match revalidation answers 304), campaign pages
+// paginate by opaque cursor (?cursor=, with ?offset= kept as a deprecated
+// alias), and an optional per-client token bucket throttles reads (429 +
+// Retry-After).
 package api
 
 import (
@@ -88,6 +95,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// EventBuffer is the per-subscriber event channel capacity (default 1024).
 	EventBuffer int
+	// RateLimit, when positive, throttles GET/HEAD requests per client
+	// address to this many requests per second (token bucket); excess
+	// requests answer 429 with Retry-After. Zero disables throttling.
+	RateLimit float64
+	// RateBurst is the token-bucket depth per client (default: RateLimit
+	// rounded up, minimum 1). Ignored when RateLimit is zero.
+	RateBurst int
 	// Logger receives request logs and encode failures, scoped
 	// component=api. Nil keeps the server silent (tests, embedders).
 	Logger *slog.Logger
@@ -104,6 +118,7 @@ type Server struct {
 	log     *slog.Logger
 	met     *serverMetrics
 	reqID   *requestIDSource
+	limiter *rateLimiter
 	handler http.Handler
 }
 
@@ -125,8 +140,24 @@ func New(cfg Config) *Server {
 		cfg.EventBuffer = 1024
 	}
 	s := &Server{cfg: cfg, log: obs.Component(cfg.Logger, "api"), reqID: newRequestIDSource()}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	if cfg.Metrics != nil {
 		s.met = newServerMetrics(cfg.Metrics)
+		if cfg.Engine != nil {
+			// Snapshot freshness: the epoch the read tier currently serves
+			// and how long ago it was published. A stalled epoch under load
+			// means ingestion stopped; a growing age with a fresh epoch is a
+			// scrape-time illusion (the gauge is read lazily).
+			eng := cfg.Engine
+			cfg.Metrics.GaugeFunc("api_snapshot_epoch",
+				"Epoch of the snapshot the read tier is serving.",
+				func() float64 { return float64(eng.CurrentView().Epoch) })
+			cfg.Metrics.GaugeFunc("api_snapshot_age_seconds",
+				"Seconds since the served snapshot was published.",
+				func() float64 { return time.Since(eng.CurrentView().Published).Seconds() })
+		}
 	}
 	// Request-ID assignment sits outermost so the log line and any error
 	// envelope share the ID; recovery sits inside logging so a panicked
@@ -187,6 +218,9 @@ func (s *Server) routes() http.Handler {
 // snapshot reads complete in-memory; the one operation that can stall —
 // submitting into a backpressured engine — is individually bounded by
 // RequestTimeout in submitWire, surfacing as 503.
+// The rate limiter sits inside the instrumentation (throttled requests are
+// still counted, as 429s) and outside the method guard (a throttled client
+// learns about the limit before anything else).
 func (s *Server) route(pattern string, h http.HandlerFunc, allow ...string) http.Handler {
-	return s.instrument(pattern, s.methods(h, allow...))
+	return s.instrument(pattern, s.ratelimit(s.methods(h, allow...)))
 }

@@ -1,0 +1,99 @@
+package api
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cryptomining/internal/obs"
+)
+
+// etagForEpoch formats the strong entity tag of a snapshot-backed response:
+// the view epoch increases by exactly one per publication, so equal tags
+// imply byte-identical representations of the same URL.
+func etagForEpoch(epoch uint64) string {
+	return fmt.Sprintf("%q", "v"+strconv.FormatUint(epoch, 10))
+}
+
+// etagForWindow is etagForEpoch for window-resolved timeseries responses:
+// the resolved lower bucket bound is folded in so a sliding window
+// revalidates (same epoch, new window start -> new tag).
+func etagForWindow(epoch uint64, from int64) string {
+	return fmt.Sprintf("%q", "v"+strconv.FormatUint(epoch, 10)+"."+strconv.FormatInt(from, 10))
+}
+
+// notModified implements conditional revalidation for one snapshot-backed
+// response. It always sets the ETag header; when the request carries
+// If-None-Match and a candidate matches, it answers 304 Not Modified (no
+// body) and reports true so the handler returns without building the
+// representation. Comparison is the weak form of RFC 9110 §8.8.3.2 — a W/
+// prefix on the client's candidate is ignored — which is safe here because
+// equal tags really do mean byte-identical bodies.
+func (s *Server) notModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", etag)
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	match := strings.TrimSpace(inm) == "*"
+	if !match {
+		for _, cand := range strings.Split(inm, ",") {
+			cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
+			if cand == etag {
+				match = true
+				break
+			}
+		}
+	}
+	if s.met != nil {
+		result := "miss"
+		if match {
+			result = "hit"
+		}
+		s.met.reg.Counter("api_requests_conditional_total",
+			"Conditional (If-None-Match) requests by revalidation result.",
+			obs.L("result", result)).Inc()
+	}
+	if match {
+		w.WriteHeader(http.StatusNotModified)
+	}
+	return match
+}
+
+// Cursors are opaque base64url tokens encoding the snapshot epoch they were
+// minted at plus the next window offset. The epoch is informational (the
+// listing is re-cut against the current snapshot on every page — campaigns
+// can shift between epochs, exactly as they could under plain offsets), but
+// it makes skew observable to clients that care.
+
+// encodeCursor mints the pagination cursor for the given snapshot position.
+func encodeCursor(epoch uint64, offset int) string {
+	raw := "v" + strconv.FormatUint(epoch, 10) + ":" + strconv.Itoa(offset)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses a client-supplied cursor back into its offset.
+func decodeCursor(s string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid cursor %q: not a cursor from this API", s)
+	}
+	rest, ok := strings.CutPrefix(string(raw), "v")
+	if !ok {
+		return 0, fmt.Errorf("invalid cursor %q: not a cursor from this API", s)
+	}
+	epochStr, offStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return 0, fmt.Errorf("invalid cursor %q: not a cursor from this API", s)
+	}
+	if _, err := strconv.ParseUint(epochStr, 10, 64); err != nil {
+		return 0, fmt.Errorf("invalid cursor %q: not a cursor from this API", s)
+	}
+	off, err := strconv.Atoi(offStr)
+	if err != nil || off < 0 {
+		return 0, fmt.Errorf("invalid cursor %q: not a cursor from this API", s)
+	}
+	return off, nil
+}

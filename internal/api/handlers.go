@@ -51,6 +51,15 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
 		return
 	}
+	// The cursor is the preferred pagination handle; ?offset= stays as a
+	// deprecated alias and loses when both are sent.
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		offset, err = decodeCursor(raw)
+		if err != nil {
+			s.error(w, http.StatusBadRequest, apiv1.CodeBadRequest, err.Error())
+			return
+		}
+	}
 	filter := stream.CampaignFilter{
 		Pool:   r.URL.Query().Get("pool"),
 		Wallet: r.URL.Query().Get("wallet"),
@@ -65,7 +74,19 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		filter.MinXMR = v
 	}
 
-	views := s.cfg.Engine.LiveFiltered(filter)
+	// One snapshot load serves the whole request: the listing, the entity
+	// tag and any minted cursor all describe the same epoch. The view is
+	// pre-sorted by earnings, and filtering preserves that stable order.
+	v := s.cfg.Engine.CurrentView()
+	if s.notModified(w, r, etagForEpoch(v.Epoch)) {
+		return
+	}
+	views := make([]stream.CampaignView, 0, len(v.Campaigns))
+	for _, cv := range v.Campaigns {
+		if filter.Matches(cv) {
+			views = append(views, cv)
+		}
+	}
 	page := apiv1.CampaignPage{
 		Total:     len(views),
 		Limit:     limit,
@@ -78,6 +99,9 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			window = window[:limit]
 		}
 		page.Campaigns = CampaignsToWire(window)
+		if next := offset + len(window); next < len(views) {
+			page.NextCursor = encodeCursor(v.Epoch, next)
+		}
 	}
 	s.writeJSON(w, http.StatusOK, page)
 }
@@ -89,9 +113,13 @@ func (s *Server) handleCampaignDetail(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("invalid campaign id %q: must be an integer", r.PathValue("id")))
 		return
 	}
-	detail, ok := s.cfg.Engine.CampaignDetail(id)
+	v := s.cfg.Engine.CurrentView()
+	detail, ok := v.Details[id]
 	if !ok {
 		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Sprintf("no campaign with id %d", id))
+		return
+	}
+	if s.notModified(w, r, etagForEpoch(v.Epoch)) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, DetailToWire(detail))
@@ -112,7 +140,15 @@ func (s *Server) handleLegacyCampaigns(w http.ResponseWriter, r *http.Request) {
 			n = parsed
 		}
 	}
-	s.writeJSON(w, http.StatusOK, CampaignsToWire(s.cfg.Engine.Live(n)))
+	v := s.cfg.Engine.CurrentView()
+	if s.notModified(w, r, etagForEpoch(v.Epoch)) {
+		return
+	}
+	views := v.Campaigns
+	if n > 0 && n < len(views) {
+		views = views[:n]
+	}
+	s.writeJSON(w, http.StatusOK, CampaignsToWire(views))
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -360,6 +396,13 @@ func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 		s.writeTSError(w, err)
 		return
 	}
+	// The resolved window start is folded into the tag: at a fixed epoch a
+	// relative window still slides with the recording clock, and the tag
+	// must change when the selected buckets do.
+	epoch := s.cfg.Engine.CurrentView().Epoch
+	if s.notModified(w, r, etagForWindow(epoch, snap.From)) {
+		return
+	}
 	s.writeJSON(w, http.StatusOK, TimeseriesToWire(snap))
 }
 
@@ -382,6 +425,10 @@ func (s *Server) handleCampaignTimeline(w http.ResponseWriter, r *http.Request) 
 	}
 	if !ok {
 		s.error(w, http.StatusNotFound, apiv1.CodeNotFound, fmt.Sprintf("no campaign with id %d", id))
+		return
+	}
+	epoch := s.cfg.Engine.CurrentView().Epoch
+	if s.notModified(w, r, etagForWindow(epoch, snap.From)) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, TimelineToWire(id, snap))

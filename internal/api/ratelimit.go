@@ -1,0 +1,118 @@
+package api
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// rateLimiter is a per-client token bucket over the read surface. Each
+// client address gets Burst tokens refilled at Rate per second; a GET/HEAD
+// that finds the bucket empty is answered 429 with a Retry-After hint.
+// Writes (ingestion, checkpoint, finish) are deliberately exempt — they are
+// paced by the engine's own backpressure, and throttling them here would
+// just convert a 503 the client understands into a 429 it retries harder.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateClients bounds the per-client table; when exceeded, buckets idle
+// long enough to have fully refilled are dropped (they are indistinguishable
+// from fresh ones).
+const maxRateClients = 16384
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), clients: map[string]*tokenBucket{}}
+}
+
+// allow consumes one token for the client, reporting whether the request may
+// proceed and, when it may not, how many whole seconds until a token is due.
+func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter int) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.clients[client]
+	if b == nil {
+		if len(rl.clients) >= maxRateClients {
+			rl.pruneLocked(now)
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.clients[client] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, int(math.Ceil((1 - b.tokens) / rl.rate))
+}
+
+// pruneLocked drops buckets that have been idle long enough to refill
+// completely. Caller holds rl.mu.
+func (rl *rateLimiter) pruneLocked(now time.Time) {
+	idle := time.Duration(rl.burst/rl.rate*float64(time.Second)) + time.Second
+	for c, b := range rl.clients {
+		if now.Sub(b.last) > idle {
+			delete(rl.clients, c)
+		}
+	}
+}
+
+// clientKey extracts the throttling identity of a request: the peer IP
+// without the ephemeral port. Forwarding headers are deliberately ignored —
+// they are client-controlled, and honoring them would let one peer spread
+// its traffic across arbitrarily many buckets.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ratelimit wraps a route with the read-path throttle. No-op when the server
+// runs without a limit, and for every non-read method.
+func (s *Server) ratelimit(h http.Handler) http.Handler {
+	if s.limiter == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			h.ServeHTTP(w, r)
+			return
+		}
+		ok, retryAfter := s.limiter.allow(clientKey(r), time.Now())
+		if !ok {
+			if s.met != nil {
+				s.met.reg.Counter("api_requests_ratelimited_total",
+					"Read requests rejected by the per-client rate limiter.").Inc()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			s.error(w, http.StatusTooManyRequests, apiv1.CodeRateLimited,
+				"rate limit exceeded; retry after "+strconv.Itoa(retryAfter)+"s")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

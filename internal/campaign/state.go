@@ -168,6 +168,13 @@ func (ia *IncrementalAggregator) RestoreState(st *AggregatorState) error {
 		ia.SetAVLabels(sl.SHA256, sl.Labels)
 	}
 	ia.skippedDonations = st.SkippedDonations
+	// Warm the derived campaign caches. The first Snapshot after a restore
+	// would rebuild every component anyway; doing it here keeps that cost
+	// inside the restore and off the first read. The warm-up is restoration
+	// work, not new aggregation, so it must not disturb the Rebuilds counter:
+	// reset it to the exported value afterwards so a restored partition
+	// re-exports byte-identically.
+	ia.Snapshot()
 	ia.rebuilds = st.Rebuilds
 	return nil
 }

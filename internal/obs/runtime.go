@@ -29,6 +29,22 @@ func (c *memStatsReader) read() runtime.MemStats {
 	return c.ms
 }
 
+// Version identifies the build in logs, -version output and the
+// cryptomining_build_info metric. Overridden at link time:
+//
+//	go build -ldflags "-X cryptomining/internal/obs.Version=v1.2.3"
+var Version = "dev"
+
+// RegisterBuildInfo registers the conventional build-info gauge: constant 1,
+// with the build identity carried in labels so dashboards can join metrics
+// against the version that produced them.
+func RegisterBuildInfo(reg *Registry) {
+	reg.GaugeFunc("cryptomining_build_info",
+		"Build identity; constant 1, labeled with version and Go runtime.",
+		func() float64 { return 1 },
+		L("version", Version), L("go_version", runtime.Version()))
+}
+
 // RegisterRuntimeMetrics registers process-level gauges (goroutine count,
 // heap usage, GC cycles) read lazily at scrape time. ReadMemStats briefly
 // stops the world, so scrape cost is paid by the scraper, never by the

@@ -222,7 +222,13 @@ func (s *Server) ListenHTTP(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// IdleTimeout reaps parked keep-alive connections; probers reconnect
+	// transparently.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	s.mu.Lock()
 	s.httpSrv = srv
 	s.httpLn = ln

@@ -130,8 +130,9 @@ func (c *collector) handle(it *Task) bool {
 	if _, seen := c.outcomes[h]; seen {
 		// A continuous feed re-observes samples; the dataset is defined over
 		// distinct hashes (feed consolidation dedups upstream in batch mode),
-		// so resubmissions must not double-feed the aggregation or stats.
-		c.e.stats.duplicates.Add(1)
+		// so resubmissions must not double-feed the aggregation or stats. The
+		// duplicates counter is bumped by collect after the batch's view
+		// publication, alongside analyzed.
 		return false
 	}
 	c.outcomes[h] = o

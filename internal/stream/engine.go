@@ -51,10 +51,16 @@ type Engine struct {
 	outcomes chan *Task
 	shards   []*shard
 
-	// mu serializes the collector's mutations with external reads (live
-	// snapshots, finalize, state export).
+	// mu serializes the collector's mutations with the remaining stateful
+	// entry points (finalize, state export/restore, HasSample). The read tier
+	// does NOT take it: every GET-shaped accessor serves from the last
+	// published view.
 	mu  sync.Mutex
 	col *collector
+
+	// view is the last published read snapshot (see view.go). Swapped under
+	// mu, loaded lock-free by readers; never nil (New seeds epoch 0).
+	view atomic.Pointer[View]
 
 	// ts is the longitudinal metrics store (nil when disabled). It is
 	// guarded by mu alongside the collector state it is recorded with, so
@@ -215,6 +221,7 @@ func New(cfg Config) *Engine {
 		e.shards = append(e.shards, newShard(e))
 	}
 	e.col = newCollector(e)
+	e.view.Store(emptyView())
 	if cfg.Prober != nil {
 		cfg.Prober.SetOnUpdate(e.onProbeUpdate)
 	}
@@ -245,11 +252,16 @@ func (e *Engine) onProbeUpdate(u probe.Update) {
 	}
 	if e.col.seenWallets[u.Wallet] {
 		e.col.applyProbedActivity(u.Wallet, u.Activity)
-		// Only a wallet the dataset has seen can change campaign figures;
-		// live views then re-price lazily on their next read.
+		// Only a wallet the dataset has seen can change campaign figures:
+		// drop the per-campaign profit cache and republish, so the swapped-in
+		// view re-prices every campaign against the updated activity. The
+		// republish happens before the scheduler decrements its in-flight
+		// counter, so a client that observes probe convergence always reads a
+		// view covering the final probe.
 		if len(e.col.profitCache) > 0 {
 			e.col.profitCache = map[*model.Campaign]profit.CampaignProfit{}
 		}
+		e.publishViewLocked()
 	}
 	ev := Event{
 		Type:      EventProfitUpdated,
@@ -355,7 +367,12 @@ func (e *Engine) dispatch(ctx context.Context) {
 	}
 }
 
-// collect drains analyzed samples into the collector.
+// collect drains analyzed samples into the collector. Samples are absorbed
+// in batches: one mutex hold drains everything already queued on the
+// outcomes channel (bounded by its capacity), then publishes a single view
+// for the whole batch — so the O(campaigns) snapshot build amortizes over
+// the batch under load, while a quiet feed still republishes after every
+// sample.
 func (e *Engine) collect(ctx context.Context) {
 	defer close(e.done)
 	for {
@@ -370,29 +387,60 @@ func (e *Engine) collect(ctx context.Context) {
 			if e.obs.lockHold != nil {
 				t0 = time.Now()
 			}
+			closed := false
+			var analyzed, duplicates int64
 			e.mu.Lock()
-			// One clock read covers every series point this sample records
-			// (arrival, keep, retroactive keeps it triggers), keeping the
-			// recorded sequence deterministic for a deterministic feed.
-			if e.ts != nil {
-				e.col.now = e.cfg.Timeseries.Clock()
-			}
-			// Re-observed hashes count as duplicates (inside handle), not as
-			// analyzed throughput. The counter bump and the sequence ack stay
-			// under the mutex so a concurrent state export sees counters,
-			// watermark and collector state move as one.
-			if e.col.handle(it) {
-				e.stats.analyzed.Add(1)
+			for it != nil {
+				// One clock read covers every series point this sample records
+				// (arrival, keep, retroactive keeps it triggers), keeping the
+				// recorded sequence deterministic for a deterministic feed.
 				if e.ts != nil {
-					e.ts.Record(timeseries.SeriesSamples, e.col.now, 1)
+					e.col.now = e.cfg.Timeseries.Clock()
+				}
+				// Re-observed hashes count as duplicates, not as analyzed
+				// throughput. The sequence ack stays under the mutex so a
+				// concurrent state export sees watermark and collector state
+				// move as one.
+				if e.col.handle(it) {
+					analyzed++
+					if e.ts != nil {
+						e.ts.Record(timeseries.SeriesSamples, e.col.now, 1)
+					}
+				} else {
+					duplicates++
+				}
+				if it.seq != 0 {
+					e.ackSeq(it.seq)
+				}
+				// Coalesce: absorb whatever the shards have already queued
+				// without releasing the mutex.
+				it = nil
+				select {
+				case next, more := <-e.outcomes:
+					if more {
+						it = next
+					} else {
+						closed = true
+					}
+				default:
 				}
 			}
-			if it.seq != 0 {
-				e.ackSeq(it.seq)
+			if analyzed > 0 {
+				e.publishViewLocked()
 			}
+			// The analyzed/duplicates bumps come strictly AFTER the view swap:
+			// pollers use these counters as the quiescence signal ("all N
+			// samples absorbed"), and with lock-free reads the counter order is
+			// the only thing guaranteeing that a poller observing analyzed == N
+			// then loads a view covering all N samples.
+			e.stats.analyzed.Add(analyzed)
+			e.stats.duplicates.Add(duplicates)
 			e.mu.Unlock()
 			if e.obs.lockHold != nil {
 				e.obs.lockHold.Observe(time.Since(t0).Seconds())
+			}
+			if closed {
+				return
 			}
 		}
 	}
@@ -513,6 +561,10 @@ func (e *Engine) Finish(ctx context.Context) (*Results, error) {
 	}
 	e.mu.Lock()
 	res := e.col.finalize()
+	// Republish so the read tier serves the sealed figures: finalize seeds
+	// the profit cache with the final per-campaign pricing, so this build
+	// only reads, never re-prices.
+	e.publishViewLocked()
 	e.mu.Unlock()
 	if p := e.cfg.Prober; p != nil {
 		// The results are sealed; automatic re-probes would be discarded, so
@@ -569,14 +621,15 @@ type CampaignFilter struct {
 	MinXMR float64
 }
 
-func (f CampaignFilter) matches(c *model.Campaign, cp profit.CampaignProfit) bool {
-	if f.MinXMR > 0 && cp.XMR < f.MinXMR {
+// Matches reports whether a published campaign view passes the filter.
+func (f CampaignFilter) Matches(v CampaignView) bool {
+	if f.MinXMR > 0 && v.XMR < f.MinXMR {
 		return false
 	}
-	if f.Pool != "" && !slices.Contains(c.Pools, f.Pool) {
+	if f.Pool != "" && !slices.Contains(v.Pools, f.Pool) {
 		return false
 	}
-	if f.Wallet != "" && !slices.Contains(c.Wallets, f.Wallet) {
+	if f.Wallet != "" && !slices.Contains(v.Wallets, f.Wallet) {
 		return false
 	}
 	return true
@@ -615,8 +668,8 @@ func viewOf(c *model.Campaign, cp profit.CampaignProfit) CampaignView {
 	}
 }
 
-// Live snapshots the current campaign partition mid-ingestion and returns the
-// top n campaigns by earnings (all of them when n <= 0).
+// Live returns the top n campaigns by earnings (all of them when n <= 0)
+// from the last published snapshot. Lock-free: never blocks on the collector.
 func (e *Engine) Live(n int) []CampaignView {
 	views := e.LiveFiltered(CampaignFilter{})
 	if n > 0 && n < len(views) {
@@ -625,66 +678,30 @@ func (e *Engine) Live(n int) []CampaignView {
 	return views
 }
 
-// LiveFiltered snapshots the current campaign partition and returns the
-// matching campaigns, sorted by earnings (highest first).
+// LiveFiltered returns the matching campaigns from the last published
+// snapshot, sorted by earnings (highest first). Lock-free: the view is
+// pre-sorted at publication, and filtering preserves the stable order, so
+// the result is identical to sorting after filtering.
 func (e *Engine) LiveFiltered(f CampaignFilter) []CampaignView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	campaigns, profits := e.liveCampaigns()
-	views := make([]CampaignView, 0, len(campaigns))
-	for _, c := range campaigns {
-		if cp := profits[c]; f.matches(c, cp) {
-			views = append(views, viewOf(c, cp))
+	v := e.view.Load()
+	views := make([]CampaignView, 0, len(v.Campaigns))
+	for _, cv := range v.Campaigns {
+		if f.Matches(cv) {
+			views = append(views, cv)
 		}
 	}
-	sort.SliceStable(views, func(i, j int) bool { return views[i].XMR > views[j].XMR })
 	return views
 }
 
-// CampaignDetail returns the full live view of the campaign with the given
-// snapshot ID, or false when no such campaign exists. IDs are positions in
-// the deterministic partition ordering, so they are stable for a fixed
-// sample set but may shift as new campaigns appear mid-ingestion. Unlike
-// the listing, only the requested campaign is (re-)priced, so a detail
-// request does not stall ingestion for a full-partition profit pass; the
-// cache entry it adds is reconciled by the next listing's cache swap.
+// CampaignDetail returns the full view of the campaign with the given
+// snapshot ID from the last published snapshot, or false when no such
+// campaign exists. IDs are positions in the deterministic partition
+// ordering, so they are stable for a fixed sample set but may shift as new
+// campaigns appear mid-ingestion. Lock-free: details are built once per
+// publication, so a detail request never stalls ingestion.
 func (e *Engine) CampaignDetail(id int) (CampaignDetail, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	res := e.col.agg.Snapshot()
-	for _, c := range res.Campaigns {
-		if c.ID != id {
-			continue
-		}
-		cp, priced := e.col.profitCache[c]
-		if !priced {
-			cp = profit.AnalyzeCampaignWith(c, e.col.collect, e.cfg.QueryTime)
-			e.col.profitCache[c] = cp
-		}
-		d := CampaignDetail{
-			CampaignView:    viewOf(c, cp),
-			SampleHashes:    c.Samples,
-			AncillaryHashes: c.Ancillaries,
-			CNAMEs:          c.CNAMEs,
-			Proxies:         c.Proxies,
-			HostingDomains:  c.HostingDomains,
-			PPIBotnets:      c.PPIBotnets,
-			StockTools:      c.StockTools,
-			KnownOperations: c.KnownOperations,
-			UsesObfuscation: c.UsesObfuscation,
-			FirstSeen:       c.FirstSeen,
-			LastSeen:        c.LastSeen,
-			Payments:        len(cp.Payments),
-			PoolsUsed:       cp.PoolsUsed,
-			FirstPayment:    cp.FirstPayment,
-			LastPayment:     cp.LastPayment,
-		}
-		for _, cur := range c.Currencies {
-			d.Currencies = append(d.Currencies, string(cur))
-		}
-		return d, true
-	}
-	return CampaignDetail{}, false
+	d, ok := e.view.Load().Details[id]
+	return d, ok
 }
 
 // HasSample reports whether the collector has already recorded an outcome
@@ -752,11 +769,18 @@ type TimeseriesSnapshot struct {
 	ResolutionSeconds int64
 	Series            []MetricSeries
 	Years             []YearStats
+	// From is the resolved lower bucket bound (Unix seconds) the snapshot
+	// was cut at: the query's From, or the window start resolved against the
+	// recording clock. Not serialized to the wire — the API layer folds it
+	// into the entity tag so windowed responses revalidate correctly as the
+	// window slides.
+	From int64
 }
 
 // resolveTSQuery validates the query against the store's ladder and
 // resolves a relative window into an absolute From bound on the engine's
-// recording clock. Caller must hold e.mu and have checked e.ts != nil.
+// recording clock. Caller must have checked e.ts != nil; no lock is needed
+// (the ladder is immutable and the clock must be goroutine-safe).
 func (e *Engine) resolveTSQuery(q TimeseriesQuery) (TimeseriesQuery, error) {
 	if q.Resolution == 0 {
 		q.Resolution = e.ts.FinestResolution()
@@ -795,8 +819,6 @@ func (e *Engine) Timeseries(q TimeseriesQuery) (TimeseriesSnapshot, error) {
 	if e.ts == nil {
 		return TimeseriesSnapshot{}, ErrTimeseriesDisabled
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	q, err := e.resolveTSQuery(q)
 	if err != nil {
 		return TimeseriesSnapshot{}, err
@@ -813,28 +835,28 @@ func (e *Engine) Timeseries(q TimeseriesQuery) (TimeseriesSnapshot, error) {
 		}
 		names = []string{q.Metric}
 	}
-	snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second)}
+	snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second), From: q.From}
 	for _, name := range names {
 		buckets, _ := e.ts.Buckets(name, q.Resolution, q.From, q.To)
 		snap.Series = append(snap.Series, MetricSeries{Name: name, Buckets: buckets})
 	}
 	if q.Metric == "" {
-		// The yearly breakdown walks the full campaign partition
-		// (agg.Snapshot) under the engine mutex; metric-filtered queries are
-		// the high-frequency polling shape, so they skip it and stay cheap
-		// for the collector.
-		snap.Years = e.yearStatsLocked()
+		// The yearly breakdown is built once per view publication;
+		// metric-filtered queries are the high-frequency polling shape and
+		// skip it to keep the response small.
+		snap.Years = e.view.Load().Years
 	}
 	return snap, nil
 }
 
-// yearStatsLocked assembles the data-time yearly breakdown: kept samples per
+// yearStats assembles the data-time yearly breakdown: kept samples per
 // first-seen year from the series store, campaign starts and activity spans
-// from the live partition — the live equivalent of the paper's yearly
-// evolution tables, bucketed via report.YearBuckets. Caller must hold e.mu.
-func (e *Engine) yearStatsLocked() []YearStats {
+// from the given partition snapshot — the live equivalent of the paper's
+// yearly evolution tables, bucketed via report.YearBuckets. Called from the
+// view build under e.mu.
+func (e *Engine) yearStats(campaigns []*model.Campaign) []YearStats {
 	newC, active := report.NewYearBuckets(), report.NewYearBuckets()
-	for _, c := range e.col.agg.Snapshot().Campaigns {
+	for _, c := range campaigns {
 		newC.Add(c.FirstSeen)
 		if c.FirstSeen.IsZero() || c.LastSeen.Before(c.FirstSeen) {
 			continue
@@ -884,8 +906,6 @@ func (e *Engine) CampaignTimeline(id int, q TimeseriesQuery) (TimeseriesSnapshot
 		return TimeseriesSnapshot{}, false, ErrTimeseriesDisabled
 	}
 	timelineMetrics := []string{timeseries.TimelineSamples, timeseries.TimelineWallets, timeseries.TimelineXMR}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	q, err := e.resolveTSQuery(q)
 	if err != nil {
 		return TimeseriesSnapshot{}, false, err
@@ -898,35 +918,20 @@ func (e *Engine) CampaignTimeline(id int, q TimeseriesQuery) (TimeseriesSnapshot
 		}
 		metrics = []string{q.Metric}
 	}
-	for _, c := range e.col.agg.Snapshot().Campaigns {
-		if c.ID != id {
-			continue
-		}
-		var key string
-		var ok bool
-		for _, sha := range c.Samples {
-			if key, ok = e.col.agg.ComponentKey(sha); ok {
-				break
-			}
-		}
-		if !ok {
-			for _, sha := range c.Ancillaries {
-				if key, ok = e.col.agg.ComponentKey(sha); ok {
-					break
-				}
-			}
-		}
-		snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second)}
-		for _, metric := range metrics {
-			var buckets []timeseries.Bucket
-			if ok {
-				buckets, _ = e.ts.TimelineBuckets(key, metric, q.Resolution, q.From, q.To)
-			}
-			snap.Series = append(snap.Series, MetricSeries{Name: metric, Buckets: buckets})
-		}
-		return snap, true, nil
+	v := e.view.Load()
+	if _, ok := v.Details[id]; !ok {
+		return TimeseriesSnapshot{}, false, nil
 	}
-	return TimeseriesSnapshot{}, false, nil
+	key, hasKey := v.TimelineKeys[id]
+	snap := TimeseriesSnapshot{ResolutionSeconds: int64(q.Resolution / time.Second), From: q.From}
+	for _, metric := range metrics {
+		var buckets []timeseries.Bucket
+		if hasKey {
+			buckets, _ = e.ts.TimelineBuckets(key, metric, q.Resolution, q.From, q.To)
+		}
+		snap.Series = append(snap.Series, MetricSeries{Name: metric, Buckets: buckets})
+	}
+	return snap, true, nil
 }
 
 // Stats returns a live snapshot of the engine's counters.

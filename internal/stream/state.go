@@ -339,6 +339,10 @@ func (e *Engine) RestoreState(st *EngineState) error {
 		// error, or have outlived the TTL.
 		p.EnsureFresh(st.SeenWallets)
 	}
+	// Publish the restored state to the read tier, so clients of a freshly
+	// restored daemon see the checkpoint's campaigns before the WAL tail
+	// replays (each replayed batch then republishes as usual).
+	e.publishViewLocked()
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/profit"
+)
+
+// View is one immutable, epoch-numbered snapshot of everything the read tier
+// serves: the priced campaign listing (earnings-descending), the full detail
+// views, the campaign-to-timeline-key mapping and the data-time yearly
+// breakdown. The collector publishes a fresh View via atomic pointer swap at
+// the end of every aggregation batch, after each dataset-relevant probe
+// completion, on finalize and on state restore — readers load the pointer and
+// never touch the collector mutex, so a GET can never stall ingestion (and a
+// long checkpoint can never stall a GET).
+//
+// Everything reachable from a View is immutable once published: the slices
+// hang off campaign objects the aggregator only ever replaces (a dirty
+// component is rebuilt as a fresh campaign), and the scalar fields are copied
+// at build time. The epoch increases by exactly one per publication, which is
+// what lets the API layer use it as a strong ETag.
+type View struct {
+	// Epoch counts publications since engine creation (0 = the empty view
+	// seeded by New, before anything was absorbed).
+	Epoch uint64
+	// Published is the wall-clock publication instant, for staleness gauges.
+	Published time.Time
+	// Campaigns is the full priced listing, sorted by XMR earned (highest
+	// first), ties in deterministic partition order.
+	Campaigns []CampaignView
+	// Details maps campaign ID to its full detail view.
+	Details map[int]CampaignDetail
+	// TimelineKeys maps campaign ID to the partition's stable component key,
+	// under which the timeseries store files the campaign's timeline. IDs
+	// without a key (no timeline recorded) are absent.
+	TimelineKeys map[int]string
+	// Years is the data-time yearly-evolution breakdown (nil when the
+	// timeseries subsystem is disabled).
+	Years []YearStats
+}
+
+// CurrentView returns the engine's latest published snapshot. It never
+// returns nil and never blocks: New seeds an empty epoch-0 view before the
+// engine can be observed.
+func (e *Engine) CurrentView() *View {
+	return e.view.Load()
+}
+
+// publishViewLocked builds the snapshot from the collector's current state
+// and swaps it in. Caller must hold e.mu. Dirty campaigns are re-priced here
+// (liveCampaigns), which moves the pricing cost from the read path onto the
+// write path — once per batch instead of once per request.
+func (e *Engine) publishViewLocked() {
+	campaigns, profits := e.liveCampaigns()
+	v := &View{
+		Epoch:        e.view.Load().Epoch + 1,
+		Published:    time.Now(),
+		Campaigns:    make([]CampaignView, 0, len(campaigns)),
+		Details:      make(map[int]CampaignDetail, len(campaigns)),
+		TimelineKeys: make(map[int]string, len(campaigns)),
+	}
+	for _, c := range campaigns {
+		cp := profits[c]
+		v.Campaigns = append(v.Campaigns, viewOf(c, cp))
+		v.Details[c.ID] = detailOf(c, cp)
+		if e.ts != nil {
+			if key, ok := e.col.timelineKey(c); ok {
+				v.TimelineKeys[c.ID] = key
+			}
+		}
+	}
+	sort.SliceStable(v.Campaigns, func(i, j int) bool { return v.Campaigns[i].XMR > v.Campaigns[j].XMR })
+	if e.ts != nil {
+		v.Years = e.yearStats(campaigns)
+	}
+	e.view.Store(v)
+}
+
+// emptyView is the epoch-0 snapshot every engine starts with.
+func emptyView() *View {
+	return &View{
+		Published:    time.Now(),
+		Details:      map[int]CampaignDetail{},
+		TimelineKeys: map[int]string{},
+	}
+}
+
+// detailOf assembles the full detail view of one priced campaign.
+func detailOf(c *model.Campaign, cp profit.CampaignProfit) CampaignDetail {
+	d := CampaignDetail{
+		CampaignView:    viewOf(c, cp),
+		SampleHashes:    c.Samples,
+		AncillaryHashes: c.Ancillaries,
+		CNAMEs:          c.CNAMEs,
+		Proxies:         c.Proxies,
+		HostingDomains:  c.HostingDomains,
+		PPIBotnets:      c.PPIBotnets,
+		StockTools:      c.StockTools,
+		KnownOperations: c.KnownOperations,
+		UsesObfuscation: c.UsesObfuscation,
+		FirstSeen:       c.FirstSeen,
+		LastSeen:        c.LastSeen,
+		Payments:        len(cp.Payments),
+		PoolsUsed:       cp.PoolsUsed,
+		FirstPayment:    cp.FirstPayment,
+		LastPayment:     cp.LastPayment,
+	}
+	for _, cur := range c.Currencies {
+		d.Currencies = append(d.Currencies, string(cur))
+	}
+	return d
+}
+
+// timelineKey resolves the stable component key a campaign's timeline is
+// filed under: the first member hash the aggregator still maps. Called under
+// e.mu.
+func (c *collector) timelineKey(cam *model.Campaign) (string, bool) {
+	for _, sha := range cam.Samples {
+		if key, ok := c.agg.ComponentKey(sha); ok {
+			return key, true
+		}
+	}
+	for _, sha := range cam.Ancillaries {
+		if key, ok := c.agg.ComponentKey(sha); ok {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// HoldCollectorLock acquires the engine's collector mutex and returns the
+// release function. It exists for isolation tests that assert the read tier
+// keeps serving published snapshots while the collector is busy (simulating a
+// long checkpoint or aggregation stall); production code has no reason to
+// call it.
+func (e *Engine) HoldCollectorLock() (release func()) {
+	e.mu.Lock()
+	return e.mu.Unlock
+}

@@ -49,6 +49,8 @@ type TimelineState struct {
 
 // Export snapshots the store into its canonical state.
 func (st *Store) Export() *State {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := &State{}
 	for _, sp := range st.specs {
 		out.Levels = append(out.Levels, LevelSpecState{
@@ -56,7 +58,7 @@ func (st *Store) Export() *State {
 			Buckets:           sp.Buckets,
 		})
 	}
-	for _, name := range st.SeriesNames() {
+	for _, name := range sortedKeys(st.series) {
 		out.Series = append(out.Series, exportSeries(name, st.series[name]))
 	}
 	for _, key := range sortedKeys(st.timelines) {
@@ -67,7 +69,7 @@ func (st *Store) Export() *State {
 		}
 		out.Timelines = append(out.Timelines, ts)
 	}
-	out.Years = st.Years()
+	out.Years = st.yearsLocked()
 	return out
 }
 
@@ -89,6 +91,8 @@ func exportSeries(name string, s *Series) NamedSeriesState {
 // cannot be re-bucketed, so resuming under a different -series-retention is
 // an explicit error rather than a silent reshape.
 func (st *Store) Restore(state *State) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if state == nil {
 		return nil
 	}

@@ -24,8 +24,13 @@
 // canonical State — same contents, same bytes — so series survive
 // checkpoint/crash recovery bit-identically.
 //
-// Nothing in this package locks: the streaming engine confines the Store to
-// its collector mutex, which it already holds on every recording path.
+// The Store carries its own internal RWMutex: writes arrive from the
+// streaming engine's collector (which additionally serializes them under its
+// own mutex), while reads come straight from API handlers without touching
+// the collector — so a long collector hold can never block a timeseries
+// read, only an individual in-flight bucket write can (briefly). Individual
+// Series values are NOT self-locking; they are only reachable through the
+// Store.
 package timeseries
 
 import (
@@ -33,6 +38,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -464,9 +470,13 @@ const (
 )
 
 // Store is the engine's set of longitudinal series: named ecosystem metrics,
-// per-campaign timelines, and data-time yearly counters. Not safe for
-// concurrent use — the engine confines it to the collector mutex.
+// per-campaign timelines, and data-time yearly counters. Safe for concurrent
+// use: reads take a shared lock and may run while the engine's collector is
+// busy elsewhere; writes (recording, merging, restore) take the exclusive
+// lock. The lock order relative to the engine is strictly engine-mutex →
+// store-mutex; nothing here calls back into the engine.
 type Store struct {
+	mu        sync.RWMutex
 	specs     []LevelSpec
 	series    map[string]*Series
 	timelines map[string]map[string]*Series
@@ -494,6 +504,8 @@ func NewStore(levels []LevelSpec) (*Store, error) {
 
 // Levels returns the store's retention ladder.
 func (st *Store) Levels() []LevelSpec {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]LevelSpec, len(st.specs))
 	copy(out, st.specs)
 	return out
@@ -501,6 +513,8 @@ func (st *Store) Levels() []LevelSpec {
 
 // HasResolution reports whether the ladder has a level at resolution d.
 func (st *Store) HasResolution(d time.Duration) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	for _, sp := range st.specs {
 		if sp.Resolution == d {
 			return true
@@ -515,6 +529,8 @@ func (st *Store) FinestResolution() time.Duration { return st.specs[0].Resolutio
 // Record folds one value into the named ecosystem series, creating it on
 // first use.
 func (st *Store) Record(name string, t time.Time, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	s, ok := st.series[name]
 	if !ok {
 		s = newSeries(st.specs)
@@ -525,6 +541,8 @@ func (st *Store) Record(name string, t time.Time, v float64) {
 
 // SeriesNames lists the ecosystem series, sorted.
 func (st *Store) SeriesNames() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	out := make([]string, 0, len(st.series))
 	for name := range st.series {
 		out = append(out, name)
@@ -536,6 +554,8 @@ func (st *Store) SeriesNames() []string {
 // Buckets reads one ecosystem series (see Series.Buckets). The second result
 // is false when the series or the resolution does not exist.
 func (st *Store) Buckets(name string, res time.Duration, from, to int64) ([]Bucket, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	s, ok := st.series[name]
 	if !ok {
 		return nil, false
@@ -547,6 +567,8 @@ func (st *Store) Buckets(name string, res time.Duration, from, to int64) ([]Buck
 // the timeline and the metric on first use. key is the campaign partition's
 // stable component key.
 func (st *Store) RecordTimeline(key, metric string, t time.Time, v float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	tl, ok := st.timelines[key]
 	if !ok {
 		tl = map[string]*Series{}
@@ -564,6 +586,8 @@ func (st *Store) RecordTimeline(key, metric string, t time.Time, v float64) {
 // src, used when two campaigns merge into one. Missing src is a no-op;
 // missing dst is a plain rename.
 func (st *Store) MergeTimeline(dst, src string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if dst == src {
 		return
 	}
@@ -590,6 +614,8 @@ func (st *Store) MergeTimeline(dst, src string) {
 // TimelineMetrics lists the metrics recorded for a campaign timeline,
 // sorted; nil when no timeline exists under the key.
 func (st *Store) TimelineMetrics(key string) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	tl, ok := st.timelines[key]
 	if !ok {
 		return nil
@@ -599,6 +625,8 @@ func (st *Store) TimelineMetrics(key string) []string {
 
 // TimelineBuckets reads one campaign timeline metric.
 func (st *Store) TimelineBuckets(key, metric string, res time.Duration, from, to int64) ([]Bucket, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	tl, ok := st.timelines[key]
 	if !ok {
 		return nil, false
@@ -613,6 +641,8 @@ func (st *Store) TimelineBuckets(key, metric string, res time.Duration, from, to
 // RecordYear counts one kept sample under its data-time (first seen)
 // calendar year; zero times are skipped, mirroring report.YearBuckets.
 func (st *Store) RecordYear(t time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if t.IsZero() {
 		return
 	}
@@ -627,6 +657,13 @@ type YearCount struct {
 
 // Years returns the per-calendar-year kept-sample counts, sorted by year.
 func (st *Store) Years() []YearCount {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.yearsLocked()
+}
+
+// yearsLocked is Years for callers that already hold st.mu.
+func (st *Store) yearsLocked() []YearCount {
 	out := make([]YearCount, 0, len(st.years))
 	for y, n := range st.years {
 		out = append(out, YearCount{Year: y, Samples: n})

@@ -24,6 +24,7 @@ const (
 	CodeProbeDisabled       = "probe_disabled"
 	CodeFinishUnavailable   = "finish_unavailable"
 	CodeTimeseriesDisabled  = "timeseries_disabled"
+	CodeRateLimited         = "rate_limited"
 )
 
 // Error is the body of the uniform error envelope.
@@ -89,6 +90,10 @@ type CampaignPage struct {
 	// Limit / Offset echo the effective pagination window (limit 0 = all).
 	Limit  int `json:"limit"`
 	Offset int `json:"offset"`
+	// NextCursor, when non-empty, is the opaque cursor of the next page
+	// (pass as ?cursor=). Absent on the final page and on unpaginated
+	// listings.
+	NextCursor string `json:"next_cursor,omitempty"`
 	// Campaigns are the matching campaigns, sorted by XMR earned (desc).
 	Campaigns []Campaign `json:"campaigns"`
 }

@@ -82,9 +82,28 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
+// condition carries conditional-request state through doCond: the validator
+// to send, and what came back.
+type condition struct {
+	// etag is sent as If-None-Match when non-empty.
+	etag string
+	// newETag is the ETag of the response (also set on 304 answers).
+	newETag string
+	// notModified reports a 304: out was left untouched.
+	notModified bool
+}
+
 // do performs one request and decodes the response into out (skipped when
 // out is nil). Non-2xx responses are decoded into *APIError.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any) error {
+	return c.doCond(ctx, method, path, query, body, contentType, out, nil)
+}
+
+// doCond is do with optional conditional-request handling: when cond is set,
+// its etag rides as If-None-Match, a 304 answer short-circuits as success
+// with cond.notModified set, and the response validator lands in
+// cond.newETag.
+func (c *Client) doCond(ctx context.Context, method, path string, query url.Values, body io.Reader, contentType string, out any, cond *condition) error {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -97,11 +116,22 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		req.Header.Set("Content-Type", contentType)
 	}
 	req.Header.Set("Accept", "application/json")
+	if cond != nil && cond.etag != "" {
+		req.Header.Set("If-None-Match", cond.etag)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if cond != nil {
+		cond.newETag = resp.Header.Get("ETag")
+		if resp.StatusCode == http.StatusNotModified {
+			cond.notModified = true
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+	}
 	if resp.StatusCode >= 300 {
 		return decodeError(resp)
 	}
@@ -149,8 +179,12 @@ func (c *Client) Stats(ctx context.Context) (apiv1.Stats, error) {
 // CampaignQuery selects and paginates the campaign listing. Zero values are
 // omitted: no filters, offset 0, and limit 0 meaning "all".
 type CampaignQuery struct {
-	Limit  int
+	Limit int
+	// Offset is the deprecated pagination handle; prefer Cursor, which wins
+	// when both are set.
 	Offset int
+	// Cursor is the opaque next-page token from CampaignPage.NextCursor.
+	Cursor string
 	// Pool / Wallet / MinXMR filter by attribute.
 	Pool   string
 	Wallet string
@@ -164,6 +198,9 @@ func (q CampaignQuery) values() url.Values {
 	}
 	if q.Offset > 0 {
 		v.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.Cursor != "" {
+		v.Set("cursor", q.Cursor)
 	}
 	if q.Pool != "" {
 		v.Set("pool", q.Pool)
@@ -184,11 +221,30 @@ func (c *Client) Campaigns(ctx context.Context, q CampaignQuery) (apiv1.Campaign
 	return out, err
 }
 
+// CampaignsConditional is Campaigns with conditional revalidation: etag is
+// the validator from a previous call ("" fetches unconditionally). When the
+// server answers 304 Not Modified, notModified is true and the returned page
+// is zero — reuse the previously fetched one. The returned validator is
+// always current; pass it to the next call.
+func (c *Client) CampaignsConditional(ctx context.Context, q CampaignQuery, etag string) (page apiv1.CampaignPage, newETag string, notModified bool, err error) {
+	cond := condition{etag: etag}
+	err = c.doCond(ctx, http.MethodGet, "/api/v1/campaigns", q.values(), nil, "", &page, &cond)
+	return page, cond.newETag, cond.notModified, err
+}
+
 // Campaign fetches the full detail view of one campaign.
 func (c *Client) Campaign(ctx context.Context, id int) (apiv1.CampaignDetail, error) {
 	var out apiv1.CampaignDetail
 	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+strconv.Itoa(id), nil, nil, "", &out)
 	return out, err
+}
+
+// CampaignConditional is Campaign with conditional revalidation; see
+// CampaignsConditional for the etag contract.
+func (c *Client) CampaignConditional(ctx context.Context, id int, etag string) (detail apiv1.CampaignDetail, newETag string, notModified bool, err error) {
+	cond := condition{etag: etag}
+	err = c.doCond(ctx, http.MethodGet, "/api/v1/campaigns/"+strconv.Itoa(id), nil, nil, "", &detail, &cond)
+	return detail, cond.newETag, cond.notModified, err
 }
 
 // Results fetches the final run summary. While the run is still in flight
@@ -283,6 +339,14 @@ func (c *Client) Timeseries(ctx context.Context, q TimeseriesQuery) (apiv1.Times
 	var out apiv1.Timeseries
 	err := c.do(ctx, http.MethodGet, "/api/v1/timeseries", q.values(), nil, "", &out)
 	return out, err
+}
+
+// TimeseriesConditional is Timeseries with conditional revalidation; see
+// CampaignsConditional for the etag contract.
+func (c *Client) TimeseriesConditional(ctx context.Context, q TimeseriesQuery, etag string) (ts apiv1.Timeseries, newETag string, notModified bool, err error) {
+	cond := condition{etag: etag}
+	err = c.doCond(ctx, http.MethodGet, "/api/v1/timeseries", q.values(), nil, "", &ts, &cond)
+	return ts, cond.newETag, cond.notModified, err
 }
 
 // CampaignTimeline fetches one campaign's longitudinal series: sample

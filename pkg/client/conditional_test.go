@@ -1,0 +1,120 @@
+package client_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cryptomining/pkg/apiv1"
+	"cryptomining/pkg/client"
+)
+
+// TestConditionalRoundTrip drives the SDK's conditional methods against a
+// live daemon: first fetch yields a validator, revalidation yields 304, and
+// the validator refreshes when it must.
+func TestConditionalRoundTrip(t *testing.T) {
+	u, _ := testUniverse()
+	d := newDaemon(t, nil)
+	ctx := context.Background()
+	if _, err := d.cl.SubmitSamples(ctx, wireCorpus(u, 0)); err != nil {
+		t.Fatalf("bulk submit: %v", err)
+	}
+	d.finish(t)
+
+	page, etag, notModified, err := d.cl.CampaignsConditional(ctx, client.CampaignQuery{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notModified || etag == "" || page.Total == 0 {
+		t.Fatalf("first fetch: notModified=%v etag=%q total=%d", notModified, etag, page.Total)
+	}
+
+	again, etag2, notModified, err := d.cl.CampaignsConditional(ctx, client.CampaignQuery{}, etag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notModified {
+		t.Fatal("revalidation with a fresh etag was not a 304")
+	}
+	if etag2 != etag {
+		t.Fatalf("304 validator %q, want %q", etag2, etag)
+	}
+	if again.Total != 0 || again.Campaigns != nil {
+		t.Fatalf("304 filled the page: %+v", again)
+	}
+
+	// A stale validator falls back to a full fetch with the same contents.
+	full, _, notModified, err := d.cl.CampaignsConditional(ctx, client.CampaignQuery{}, `"v0"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notModified || !reflect.DeepEqual(full, page) {
+		t.Fatalf("stale-etag refetch: notModified=%v, equal=%v", notModified, reflect.DeepEqual(full, page))
+	}
+
+	// Detail views share the epoch validator.
+	id := page.Campaigns[0].ID
+	detail, detag, _, err := d.cl.CampaignConditional(ctx, id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.ID != id || detag != etag {
+		t.Fatalf("detail fetch: id %d etag %q, want id %d etag %q", detail.ID, detag, id, etag)
+	}
+	if _, _, notModified, err = d.cl.CampaignConditional(ctx, id, detag); err != nil || !notModified {
+		t.Fatalf("detail revalidation: notModified=%v err=%v", notModified, err)
+	}
+
+	// Timeseries validators fold in the window bound, and revalidate too.
+	ts, tsTag, _, err := d.cl.TimeseriesConditional(ctx, client.TimeseriesQuery{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsTag == "" || len(ts.Series) == 0 {
+		t.Fatalf("timeseries fetch: etag %q, %d series", tsTag, len(ts.Series))
+	}
+	if _, _, notModified, err = d.cl.TimeseriesConditional(ctx, client.TimeseriesQuery{}, tsTag); err != nil || !notModified {
+		t.Fatalf("timeseries revalidation: notModified=%v err=%v", notModified, err)
+	}
+}
+
+// TestCursorWalk pages the listing through CampaignPage.NextCursor and the
+// CampaignQuery.Cursor handle.
+func TestCursorWalk(t *testing.T) {
+	u, _ := testUniverse()
+	d := newDaemon(t, nil)
+	ctx := context.Background()
+	if _, err := d.cl.SubmitSamples(ctx, wireCorpus(u, 0)); err != nil {
+		t.Fatalf("bulk submit: %v", err)
+	}
+	d.finish(t)
+
+	all, err := d.cl.Campaigns(ctx, client.CampaignQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NextCursor != "" {
+		t.Fatalf("unpaginated listing minted a cursor %q", all.NextCursor)
+	}
+
+	var walked []apiv1.Campaign
+	q := client.CampaignQuery{Limit: 2}
+	for {
+		page, err := d.cl.Campaigns(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Campaigns...)
+		if page.NextCursor == "" {
+			break
+		}
+		if len(walked) > all.Total {
+			t.Fatalf("cursor walk overran: %d > %d", len(walked), all.Total)
+		}
+		q.Cursor = page.NextCursor
+	}
+	if !reflect.DeepEqual(walked, all.Campaigns) {
+		t.Fatalf("cursor walk tiled %d campaigns, want the %d-campaign listing verbatim",
+			len(walked), len(all.Campaigns))
+	}
+}

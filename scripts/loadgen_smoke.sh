@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — load smoke of the snapshot-isolated read tier.
+#
+# Starts streamd replaying the deterministic feed with a deliberately tight
+# per-client rate limit, then drives it with cmd/loadgen: a fleet of
+# concurrent SDK clients doing conditional (If-None-Match) polls. Gates on
+# the properties the read tier promises under load:
+#
+#   - zero 5xx and zero transport errors (loadgen exits non-zero otherwise)
+#   - conditional revalidation works: the run saw 304 Not Modified answers
+#   - the rate limiter engages: the run saw 429s under the tightened limit
+#
+# Usage: scripts/loadgen_smoke.sh [path-to-streamd-binary] [path-to-loadgen-binary]
+set -euo pipefail
+
+STREAMD=${1:-./streamd}
+LOADGEN=${2:-./loadgen}
+SEED=7
+SCALE=0.12
+PORT=18292
+CLIENTS=${LOADGEN_CLIENTS:-2000}
+DURATION=${LOADGEN_DURATION:-10s}
+WORK=$(mktemp -d)
+trap 'kill -9 ${PIDS[@]:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PIDS=()
+
+echo "== streamd with a tight read rate limit =="
+"$STREAMD" -no-feed -seed $SEED -scale $SCALE -http 127.0.0.1:$PORT \
+  -api-rate 50 -api-burst 100 >"$WORK/streamd.log" 2>&1 &
+PIDS+=($!)
+
+for i in $(seq 1 120); do
+  if curl -sf "http://127.0.0.1:$PORT/api/v1/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 120 ]; then
+    echo "FATAL: streamd never became healthy" >&2
+    cat "$WORK/streamd.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+echo "== $CLIENTS clients for $DURATION =="
+"$LOADGEN" -addr "http://127.0.0.1:$PORT" -clients "$CLIENTS" \
+  -duration "$DURATION" -out "$WORK/bench.json"
+
+echo "== gate on the report =="
+python3 - "$WORK/bench.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+errs = []
+if rep["server_errors"] > 0:
+    errs.append(f"{rep['server_errors']} server errors (5xx)")
+if rep["transport_errors"] > 0:
+    errs.append(f"{rep['transport_errors']} transport errors")
+if rep["not_modified"] == 0:
+    errs.append("no 304 answers: conditional revalidation never engaged")
+if rep["statuses"].get("429", 0) == 0:
+    errs.append("no 429 answers: the rate limiter never engaged")
+if rep["requests"] == 0:
+    errs.append("no requests completed")
+if errs:
+    sys.exit("FATAL: " + "; ".join(errs))
+print(f"OK: {rep['requests']} requests at {rep['rps']:.0f} rps, "
+      f"p50 {rep['p50_ms']:.2f}ms p99 {rep['p99_ms']:.2f}ms, "
+      f"{rep['not_modified']} x 304, {rep['statuses'].get('429', 0)} x 429")
+EOF
+
+echo "OK: loadgen smoke passed"
