@@ -37,8 +37,8 @@ func main() {
 		"xt.freebuf.example",
 		"x.alibuf.example",
 		"xmr.honker.example",
-		"github.com",          // hosting, not an alias
-		"pool.minexmr.com",    // a pool's own domain, not an alias
+		"github.com",       // hosting, not an alias
+		"pool.minexmr.com", // a pool's own domain, not an alias
 	}
 
 	// 3. Unmask the aliases exactly as the aggregation stage does.

@@ -156,6 +156,7 @@ func New(cfg Config) *Server {
 				func() float64 { return float64(eng.CurrentView().Epoch) })
 			cfg.Metrics.GaugeFunc("api_snapshot_age_seconds",
 				"Seconds since the served snapshot was published.",
+				//cryptolint:allow directclock staleness is wall-clock telemetry read at scrape time, never recorded state
 				func() float64 { return time.Since(eng.CurrentView().Published).Seconds() })
 		}
 	}

@@ -112,7 +112,7 @@ func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		s.met.inflight.Add(1)
-		start := time.Now()
+		start := time.Now() //cryptolint:allow directclock request latency telemetry only
 		completed := false
 		// Deferred so the gauge and observations survive handler panics:
 		// recoverPanics wraps OUTSIDE instrument, so without the defer a
@@ -128,7 +128,7 @@ func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
 					sw.status = http.StatusInternalServerError
 				}
 			}
-			lat.Observe(time.Since(start).Seconds())
+			lat.Observe(time.Since(start).Seconds()) //cryptolint:allow directclock request latency telemetry only
 			size.Observe(float64(sw.bytes))
 			s.met.reg.Counter("api_requests_total", "Requests served by route, method and status.",
 				obs.L("route", pattern), obs.L("method", r.Method),
@@ -198,7 +198,7 @@ func (sw *statusWriter) Flush() {
 func (s *Server) logRequests(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
+		start := time.Now() //cryptolint:allow directclock request latency telemetry only
 		h.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
@@ -208,7 +208,7 @@ func (s *Server) logRequests(h http.Handler) http.Handler {
 			"path", r.URL.RequestURI(),
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"duration", time.Since(start).Round(time.Microsecond),
+			"duration", time.Since(start).Round(time.Microsecond), //cryptolint:allow directclock request log timing only
 			"request_id", RequestIDFromContext(r.Context()))
 	})
 }

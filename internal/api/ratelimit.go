@@ -20,6 +20,9 @@ import (
 type rateLimiter struct {
 	rate  float64 // tokens per second
 	burst float64
+	// now supplies the limiter's clock. Wall time in production; tests swap
+	// in a fake to drive refill and pruning deterministically.
+	now func() time.Time
 
 	mu      sync.Mutex
 	clients map[string]*tokenBucket
@@ -30,9 +33,11 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// maxRateClients bounds the per-client table; when exceeded, buckets idle
-// long enough to have fully refilled are dropped (they are indistinguishable
-// from fresh ones).
+// maxRateClients is a hard bound on the per-client table. At the cap,
+// buckets idle long enough to have fully refilled are dropped first (they
+// are indistinguishable from fresh ones); if none qualify, the
+// longest-untouched bucket is evicted so an address-spraying client can
+// never grow the map without bound.
 const maxRateClients = 16384
 
 func newRateLimiter(rate float64, burst int) *rateLimiter {
@@ -42,7 +47,13 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 			burst = 1
 		}
 	}
-	return &rateLimiter{rate: rate, burst: float64(burst), clients: map[string]*tokenBucket{}}
+	return &rateLimiter{
+		rate:  rate,
+		burst: float64(burst),
+		//cryptolint:allow directclock default wiring: the one site the limiter seam binds to the real clock
+		now:     time.Now,
+		clients: map[string]*tokenBucket{},
+	}
 }
 
 // allow consumes one token for the client, reporting whether the request may
@@ -54,6 +65,9 @@ func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter 
 	if b == nil {
 		if len(rl.clients) >= maxRateClients {
 			rl.pruneLocked(now)
+		}
+		for len(rl.clients) >= maxRateClients {
+			rl.evictOldestLocked()
 		}
 		b = &tokenBucket{tokens: rl.burst, last: now}
 		rl.clients[client] = b
@@ -79,6 +93,22 @@ func (rl *rateLimiter) pruneLocked(now time.Time) {
 	}
 }
 
+// evictOldestLocked removes the bucket untouched the longest. Only reached
+// when pruning freed nothing — every bucket is recent, so dropping the
+// stalest one merely hands that client a fresh full bucket. Caller holds
+// rl.mu and guarantees the map is non-empty.
+func (rl *rateLimiter) evictOldestLocked() {
+	var oldest string
+	var oldestLast time.Time
+	first := true
+	for c, b := range rl.clients {
+		if first || b.last.Before(oldestLast) {
+			oldest, oldestLast, first = c, b.last, false
+		}
+	}
+	delete(rl.clients, oldest)
+}
+
 // clientKey extracts the throttling identity of a request: the peer IP
 // without the ephemeral port. Forwarding headers are deliberately ignored —
 // they are client-controlled, and honoring them would let one peer spread
@@ -102,7 +132,7 @@ func (s *Server) ratelimit(h http.Handler) http.Handler {
 			h.ServeHTTP(w, r)
 			return
 		}
-		ok, retryAfter := s.limiter.allow(clientKey(r), time.Now())
+		ok, retryAfter := s.limiter.allow(clientKey(r), s.limiter.now())
 		if !ok {
 			if s.met != nil {
 				s.met.reg.Counter("api_requests_ratelimited_total",

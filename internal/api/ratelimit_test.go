@@ -1,0 +1,128 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterHardCap floods the limiter with far more distinct client
+// addresses than maxRateClients, concurrently, with a clock that never
+// advances (so pruning can free nothing). The client table must never exceed
+// the cap: before the eviction fallback, a prune that freed nothing still
+// inserted, and an address-spraying client could grow the map without bound.
+func TestRateLimiterHardCap(t *testing.T) {
+	rl := newRateLimiter(1, 1)
+	base := time.Unix(1_700_000_000, 0)
+
+	// Enough distinct addresses to overshoot the cap by a few thousand; each
+	// at-cap insert pays two O(cap) scans, so the overshoot is kept modest.
+	const workers = 8
+	const perWorker = maxRateClients/workers + 512
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rl.allow(fmt.Sprintf("10.%d.%d.%d", w, i/256, i%256), base)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rl.mu.Lock()
+	n := len(rl.clients)
+	rl.mu.Unlock()
+	if n > maxRateClients {
+		t.Fatalf("client table grew to %d, cap is %d", n, maxRateClients)
+	}
+	if n == 0 {
+		t.Fatal("client table empty after churn")
+	}
+}
+
+// TestRateLimiterPrunePreferred pins the two cap behaviours apart: with a
+// frozen clock pruning frees nothing and eviction admits the newcomer by
+// dropping exactly one bucket; once the clock passes a full refill interval,
+// pruning reclaims the idle mass wholesale.
+func TestRateLimiterPrunePreferred(t *testing.T) {
+	rl := newRateLimiter(1, 1)
+	now := time.Unix(1_700_000_000, 0)
+	for i := 0; i < maxRateClients; i++ {
+		rl.allow(fmt.Sprintf("old-%d", i), now)
+	}
+
+	rl.allow("evict-path", now)
+	rl.mu.Lock()
+	n, admitted := len(rl.clients), rl.clients["evict-path"] != nil
+	rl.mu.Unlock()
+	if n != maxRateClients {
+		t.Fatalf("frozen-clock insert at cap left %d clients, want exactly %d", n, maxRateClients)
+	}
+	if !admitted {
+		t.Fatal("evict-path client was not admitted at the cap")
+	}
+
+	// An hour later every bucket has fully refilled: prune, not evict.
+	rl.allow("prune-path", now.Add(time.Hour))
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if len(rl.clients) != 1 {
+		t.Fatalf("after refill interval, prune kept %d clients, want 1", len(rl.clients))
+	}
+	if rl.clients["prune-path"] == nil {
+		t.Fatal("prune-path client was not admitted")
+	}
+}
+
+// TestRateLimiterChurnUnderConcurrentClock exercises allow with interleaved
+// fake-clock advances under the race detector: churn from many goroutines,
+// some re-using addresses (refill path) and some always fresh (insert/evict
+// path), must keep the cap and stay race-free.
+func TestRateLimiterChurnUnderConcurrentClock(t *testing.T) {
+	rl := newRateLimiter(100, 10)
+	var tick atomic.Int64
+	base := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return base.Add(time.Duration(tick.Add(1)) * time.Millisecond) }
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4*maxRateClients/workers; i++ {
+				if i%2 == 0 {
+					rl.allow(fmt.Sprintf("stable-%d", w), clock())
+				} else {
+					rl.allow(fmt.Sprintf("churn-%d-%d", w, i), clock())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rl.mu.Lock()
+	n := len(rl.clients)
+	rl.mu.Unlock()
+	if n > maxRateClients {
+		t.Fatalf("client table grew to %d, cap is %d", n, maxRateClients)
+	}
+	// The stable clients were touched most recently and repeatedly; at least
+	// one must have survived the churn.
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	found := false
+	for w := 0; w < workers; w++ {
+		if rl.clients[fmt.Sprintf("stable-%d", w)] != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("every stable client was evicted despite constant activity")
+	}
+}

@@ -325,16 +325,16 @@ func PackersTable(res *Results) *report.Table {
 func InfrastructureByProfit(res *Results) *report.Table {
 	buckets := []model.ProfitBucket{model.BucketUnder100, model.Bucket100To1K, model.Bucket1KTo10K, model.BucketOver10K}
 	type stats struct {
-		n              int
-		ppi            int
-		sw             int
-		both           int
-		obf            int
-		cname          int
-		proxy          int
-		start          map[int]int
-		years          map[int]int
-		activeAtEnd    int
+		n           int
+		ppi         int
+		sw          int
+		both        int
+		obf         int
+		cname       int
+		proxy       int
+		start       map[int]int
+		years       map[int]int
+		activeAtEnd int
 	}
 	perBucket := map[model.ProfitBucket]*stats{}
 	get := func(b model.ProfitBucket) *stats {

@@ -12,11 +12,11 @@ func date(y int, m time.Month, d int) time.Time {
 
 func poolDomains() map[string]string {
 	return map[string]string{
-		"minexmr.com":     "minexmr",
-		"crypto-pool.fr":  "crypto-pool",
-		"dwarfpool.com":   "dwarfpool",
-		"supportxmr.com":  "supportxmr",
-		"ppxxmr.com":      "ppxxmr",
+		"minexmr.com":    "minexmr",
+		"crypto-pool.fr": "crypto-pool",
+		"dwarfpool.com":  "dwarfpool",
+		"supportxmr.com": "supportxmr",
+		"ppxxmr.com":     "ppxxmr",
 	}
 }
 

@@ -92,12 +92,12 @@ func (g *generator) generateCampaign(id int, currency model.Currency, forceSteal
 	start, end := g.campaignWindow(currency)
 	size := g.campaignSizeProfile()
 	c := &GroundTruthCampaign{
-		ID:        id,
-		Name:      fmt.Sprintf("campaign-%04d", id),
-		Currency:  currency,
-		BotnetSize: size,
-		Start:     start,
-		End:       end,
+		ID:               id,
+		Name:             fmt.Sprintf("campaign-%04d", id),
+		Currency:         currency,
+		BotnetSize:       size,
+		Start:            start,
+		End:              end,
 		MaintainsUpdates: g.rng.Float64() < 0.28,
 		Stealthy:         forceStealthy || g.rng.Float64() < 0.08,
 	}
@@ -240,14 +240,14 @@ func (g *generator) materializeCampaign(c *GroundTruthCampaign) {
 		poolHost, poolPort := g.minerEndpoint(c)
 		algo := pow.AlgorithmAt(g.uni.Network.Epochs, c.Start)
 		behavior := spec.Behavior{
-			IsMiner:  true,
-			PoolHost: poolHost,
-			PoolPort: poolPort,
-			Wallet:   walletID,
-			Password: "x",
-			Agent:    "XMRig/2.14.1",
-			Threads:  1 + g.rng.Intn(8),
-			Algo:     algo,
+			IsMiner:    true,
+			PoolHost:   poolHost,
+			PoolPort:   poolPort,
+			Wallet:     walletID,
+			Password:   "x",
+			Agent:      "XMRig/2.14.1",
+			Threads:    1 + g.rng.Intn(8),
+			Algo:       algo,
 			IdleMining: g.rng.Float64() < 0.3,
 			UsesProxy:  c.UsesProxy,
 		}

@@ -284,14 +284,14 @@ func (g *generator) generateMalwareReuse() {
 		{2013, thirdWallet},
 	}
 	c := &GroundTruthCampaign{
-		ID:       caseStudyIDBase + 3,
-		Name:     "pre-2014-reuse",
-		Currency: model.CurrencyMonero,
-		Wallets:  []string{sharedWallet, otherWallet, thirdWallet},
-		Start:    model.Date(2012, 3, 1),
-		End:      model.Date(2015, 6, 1),
+		ID:         caseStudyIDBase + 3,
+		Name:       "pre-2014-reuse",
+		Currency:   model.CurrencyMonero,
+		Wallets:    []string{sharedWallet, otherWallet, thirdWallet},
+		Start:      model.Date(2012, 3, 1),
+		End:        model.Date(2015, 6, 1),
 		BotnetSize: 60,
-		Pools:    []string{"crypto-pool"},
+		Pools:      []string{"crypto-pool"},
 	}
 	for i, spec2 := range years {
 		behavior := spec.Behavior{

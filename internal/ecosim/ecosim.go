@@ -130,15 +130,15 @@ func (c Config) Scale(f float64) Config {
 // GroundTruthCampaign is the generator's record of one campaign: what the
 // measurement pipeline should ideally recover.
 type GroundTruthCampaign struct {
-	ID        int
-	Name      string
-	Currency  model.Currency
-	Wallets   []string
-	Samples   []string // miner sample hashes
-	Droppers  []string // ancillary sample hashes
+	ID         int
+	Name       string
+	Currency   model.Currency
+	Wallets    []string
+	Samples    []string // miner sample hashes
+	Droppers   []string // ancillary sample hashes
 	BotnetSize int
-	Start     time.Time
-	End       time.Time
+	Start      time.Time
+	End        time.Time
 	// Infrastructure flags.
 	UsesCNAME     bool
 	CNAMEDomain   string
@@ -177,9 +177,9 @@ type Universe struct {
 	// Corpus is the consolidated deduplicated sample set.
 	Corpus *feeds.Corpus
 	// Zone and OSINT and Pools are the simulated environment.
-	Zone   *dnssim.Zone
-	OSINT  *osint.Store
-	Pools  *pool.Directory
+	Zone    *dnssim.Zone
+	OSINT   *osint.Store
+	Pools   *pool.Directory
 	Network *pow.Network
 	// Scanner fabricates AV reports; SampleTruths is its ground truth.
 	Scanner      *avsim.Scanner
@@ -197,10 +197,10 @@ func (u *Universe) AllFeeds() []feeds.Feed {
 
 // generator carries the mutable generation state.
 type generator struct {
-	cfg     Config
-	rng     *rand.Rand
-	wallets *wallet.Generator
-	uni     *Universe
+	cfg       Config
+	rng       *rand.Rand
+	wallets   *wallet.Generator
+	uni       *Universe
 	poolSpecs []pool.KnownPoolSpec
 	// weighted pool preference approximating Table VII's ranking.
 	poolWeights []weightedPool
@@ -237,10 +237,10 @@ func Generate(cfg Config) *Universe {
 		GroundTruthBySample: map[string]int{},
 	}
 	g := &generator{
-		cfg:     cfg,
-		rng:     rng,
-		wallets: wallet.NewGenerator(rng),
-		uni:     uni,
+		cfg:       cfg,
+		rng:       rng,
+		wallets:   wallet.NewGenerator(rng),
+		uni:       uni,
 		poolSpecs: pool.KnownMoneroPools(),
 		poolWeights: []weightedPool{
 			{"crypto-pool", "mine.crypto-pool.fr", 0.30},
@@ -345,7 +345,7 @@ func (g *generator) toolVersionContent(base []byte, name, version, donation stri
 	// Small per-version patch.
 	if len(content) > 4096 {
 		off := 2048 + g.rng.Intn(1024)
-		copy(content[off:off+16], []byte(version+"-patchpad00000")[:16])
+		copy(content[off:off+16], []byte(version + "-patchpad00000")[:16])
 	}
 	return content
 }

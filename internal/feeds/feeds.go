@@ -232,7 +232,16 @@ type Crawler struct {
 
 // NewCrawler returns a crawler with defaults.
 func NewCrawler(client *http.Client) *Crawler {
-	return &Crawler{Client: client, IndexPath: "/index.txt", MaxSampleSize: 8 << 20, Clock: time.Now}
+	return &Crawler{Client: client, IndexPath: "/index.txt", MaxSampleSize: 8 << 20, Clock: time.Now} //cryptolint:allow directclock default wiring: the one site the crawler Clock seam binds to the real clock
+}
+
+// now resolves the crawler's clock, tolerating zero-value Crawlers whose
+// Clock seam was left nil.
+func (cr *Crawler) now() time.Time {
+	if cr.Clock != nil {
+		return cr.Clock()
+	}
+	return time.Now() //cryptolint:allow directclock fallback wiring for zero-value crawlers without a Clock
 }
 
 // Crawl fetches the index at baseURL and downloads every listed sample,
@@ -271,10 +280,7 @@ func (cr *Crawler) Crawl(baseURL string) (*Repository, int, error) {
 			continue
 		}
 		sha, md5hex := binfmt.Hashes(content)
-		now := time.Now()
-		if cr.Clock != nil {
-			now = cr.Clock()
-		}
+		now := cr.now()
 		repo.Add(&model.Sample{
 			SHA256:    sha,
 			MD5:       md5hex,

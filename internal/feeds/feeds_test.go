@@ -25,7 +25,7 @@ func TestRepositoryAddFetchList(t *testing.T) {
 	r := NewRepository(model.SourceVirusTotal)
 	s := mkSample("sample one", model.Date(2017, 1, 1))
 	r.Add(s)
-	r.Add(nil)                      // ignored
+	r.Add(nil)                       // ignored
 	r.Add(&model.Sample{SHA256: ""}) // ignored
 
 	if r.Len() != 1 {

@@ -165,10 +165,10 @@ func ComputeTrend(threads []Thread) *Trend {
 
 // GeneratorConfig controls the synthetic corpus.
 type GeneratorConfig struct {
-	Seed          int64
+	Seed           int64
 	ThreadsPerYear int
-	FirstYear     int
-	LastYear      int
+	FirstYear      int
+	LastYear       int
 }
 
 // DefaultGeneratorConfig covers 2012-2018 as in Figure 1.

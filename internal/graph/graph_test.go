@@ -9,7 +9,7 @@ import (
 	"cryptomining/internal/model"
 )
 
-func sample(v string) NodeID { return NodeID{Kind: model.NodeSample, Value: v} }
+func sample(v string) NodeID  { return NodeID{Kind: model.NodeSample, Value: v} }
 func walletN(v string) NodeID { return NodeID{Kind: model.NodeWallet, Value: v} }
 
 func TestAddNodeAndEdge(t *testing.T) {

@@ -1,0 +1,68 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"testing"
+
+	"cryptomining/internal/model"
+)
+
+// encodeFrames builds a well-formed segment stream from records, mirroring
+// appendFrame's wire format without needing a file. Encoding a walRecord
+// cannot fail (all fields are gob-encodable), so errors panic.
+func encodeFrames(recs ...walRecord) []byte {
+	var out bytes.Buffer
+	for i := range recs {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&recs[i]); err != nil {
+			panic(err)
+		}
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+		out.Write(hdr[:])
+		out.Write(payload.Bytes())
+	}
+	return out.Bytes()
+}
+
+// FuzzWALFrames drives the frame decoder with arbitrary byte streams and
+// checks its safety contract: never panic, never claim a valid prefix longer
+// than the input, and always re-decode its own valid prefix to the same
+// records (truncating at validEnd must be idempotent — that is what the
+// torn-tail recovery path relies on).
+func FuzzWALFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeFrames(walRecord{Seq: 1, Sample: model.Sample{SHA256: "aa", Content: []byte("x")}}))
+	two := encodeFrames(
+		walRecord{Seq: 7, Sample: model.Sample{SHA256: "bb"}},
+		walRecord{Seq: 8, Sample: model.Sample{SHA256: "cc", ITWURLs: []string{"http://x"}}})
+	f.Add(two)
+	f.Add(two[:len(two)-3])                               // torn tail
+	f.Add(append([]byte{0, 0, 0, 0, 0, 0, 0, 0}, two...)) // zero-length frame terminates
+	huge := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(huge[0:4], maxFramePayload+1)
+	f.Add(huge) // oversized length claim
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validEnd := readFrames(bytes.NewReader(data))
+		if validEnd < 0 || validEnd > int64(len(data)) {
+			t.Fatalf("validEnd %d out of range for %d input bytes", validEnd, len(data))
+		}
+		again, againEnd := readFrames(bytes.NewReader(data[:validEnd]))
+		if againEnd != validEnd {
+			t.Fatalf("re-decoding the valid prefix moved validEnd: %d != %d", againEnd, validEnd)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("re-decoding the valid prefix yielded %d records, first pass %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if recs[i].Seq != again[i].Seq || recs[i].Sample.SHA256 != again[i].Sample.SHA256 {
+				t.Fatalf("record %d differs between decodes", i)
+			}
+		}
+	})
+}

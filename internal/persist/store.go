@@ -401,7 +401,7 @@ func (s *Store) Submit(ctx context.Context, sample *model.Sample) error {
 	seq := s.nextSeq
 	var t0 time.Time
 	if s.met != nil {
-		t0 = time.Now()
+		t0 = time.Now() //cryptolint:allow directclock WAL append latency telemetry only
 	}
 	n, err := appendFrame(s.cur, &walRecord{Seq: seq, Sample: *sample})
 	if err != nil {
@@ -416,7 +416,7 @@ func (s *Store) Submit(ctx context.Context, sample *model.Sample) error {
 		return err
 	}
 	if s.met != nil {
-		s.met.appendLat.Observe(time.Since(t0).Seconds())
+		s.met.appendLat.Observe(time.Since(t0).Seconds()) //cryptolint:allow directclock WAL append latency telemetry only
 	}
 	s.curSize += int64(n)
 	s.nextSeq++
@@ -438,7 +438,7 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 	defer s.ckptMu.Unlock()
 	var ckptStart time.Time
 	if s.met != nil {
-		ckptStart = time.Now()
+		ckptStart = time.Now() //cryptolint:allow directclock checkpoint latency telemetry only
 	}
 
 	s.mu.Lock()
@@ -487,7 +487,7 @@ func (s *Store) Checkpoint() (CheckpointInfo, error) {
 		Processed: st.AckLow - 1 + uint64(len(st.AckAbove)),
 	}
 	if s.met != nil {
-		s.met.ckptLat.Observe(time.Since(ckptStart).Seconds())
+		s.met.ckptLat.Observe(time.Since(ckptStart).Seconds()) //cryptolint:allow directclock checkpoint latency telemetry only
 		s.met.ckptBytes.Observe(float64(size))
 		s.met.ckpts.Inc()
 	}
@@ -503,9 +503,9 @@ func (s *Store) syncActive() error {
 	if s.met == nil {
 		return s.cur.Sync()
 	}
-	t0 := time.Now()
+	t0 := time.Now() //cryptolint:allow directclock fsync latency telemetry only
 	err := s.cur.Sync()
-	s.met.fsyncLat.Observe(time.Since(t0).Seconds())
+	s.met.fsyncLat.Observe(time.Since(t0).Seconds()) //cryptolint:allow directclock fsync latency telemetry only
 	return err
 }
 

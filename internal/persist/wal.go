@@ -112,28 +112,38 @@ func readSegment(path string) (recs []walRecord, validEnd int64, err error) {
 		return nil, 0, err
 	}
 	defer f.Close()
+	recs, validEnd = readFrames(f)
+	return recs, validEnd, nil
+}
 
+// readFrames decodes the valid frame prefix of a segment stream, returning
+// the records and the byte offset where validity ends. It never fails: a
+// short header, oversized length, torn payload, bad CRC or undecodable gob
+// all just terminate the prefix — by the WAL contract everything past the
+// first damage was never acknowledged. Factored over io.Reader so the
+// decoder can be driven by arbitrary byte streams (fuzzing) without a file.
+func readFrames(r io.Reader) (recs []walRecord, validEnd int64) {
 	var off int64
 	hdr := make([]byte, frameHeaderSize)
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
-			return recs, off, nil // clean EOF or torn header: stop here
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return recs, off // clean EOF or torn header: stop here
 		}
 		size := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
 		if size == 0 || size > maxFramePayload {
-			return recs, off, nil
+			return recs, off
 		}
 		payload := make([]byte, size)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return recs, off, nil // torn payload
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, off // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, off, nil // corrupt frame
+			return recs, off // corrupt frame
 		}
 		var rec walRecord
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return recs, off, nil
+			return recs, off
 		}
 		recs = append(recs, rec)
 		off += int64(frameHeaderSize + len(payload))

@@ -407,16 +407,16 @@ type snapshot struct {
 }
 
 type walletSnapshot struct {
-	User       string                 `json:"user"`
-	Hashes     uint64                 `json:"hashes"`
-	LastShare  time.Time              `json:"last_share"`
-	FirstShare time.Time              `json:"first_share"`
-	Balance    float64                `json:"balance"`
-	TotalPaid  float64                `json:"total_paid"`
-	Payments   []model.Payment        `json:"payments,omitempty"`
-	Hashrate   float64                `json:"hashrate"`
-	Historic   []model.HashratePoint  `json:"historic,omitempty"`
-	IPs        []string               `json:"ips,omitempty"`
-	Banned     bool                   `json:"banned,omitempty"`
-	BannedAt   time.Time              `json:"banned_at,omitempty"`
+	User       string                `json:"user"`
+	Hashes     uint64                `json:"hashes"`
+	LastShare  time.Time             `json:"last_share"`
+	FirstShare time.Time             `json:"first_share"`
+	Balance    float64               `json:"balance"`
+	TotalPaid  float64               `json:"total_paid"`
+	Payments   []model.Payment       `json:"payments,omitempty"`
+	Hashrate   float64               `json:"hashrate"`
+	Historic   []model.HashratePoint `json:"historic,omitempty"`
+	IPs        []string              `json:"ips,omitempty"`
+	Banned     bool                  `json:"banned,omitempty"`
+	BannedAt   time.Time             `json:"banned_at,omitempty"`
 }

@@ -53,7 +53,7 @@ func WithLogger(lg *slog.Logger) ServerOption {
 
 // NewServer wraps a pool in a network server.
 func NewServer(p *Pool, opts ...ServerOption) *Server {
-	s := &Server{Pool: p, SharesPerHash: 5000, Clock: time.Now}
+	s := &Server{Pool: p, SharesPerHash: 5000, Clock: time.Now} //cryptolint:allow directclock default wiring: the one site the server Clock seam binds to the real clock
 	for _, opt := range opts {
 		opt(s)
 	}

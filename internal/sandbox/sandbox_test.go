@@ -32,14 +32,14 @@ func buildSample(b spec.Behavior, obfuscated bool) (string, []byte) {
 
 func minerBehavior() spec.Behavior {
 	return spec.Behavior{
-		IsMiner:     true,
-		PoolHost:    "xt.freebuf.info",
-		PoolPort:    4444,
-		Wallet:      "45c2ShhBmuTESTWALLET",
-		Password:    "x",
-		Threads:     2,
-		Algo:        "cryptonight",
-		ProcessName: "svchost.exe",
+		IsMiner:         true,
+		PoolHost:        "xt.freebuf.info",
+		PoolPort:        4444,
+		Wallet:          "45c2ShhBmuTESTWALLET",
+		Password:        "x",
+		Threads:         2,
+		Algo:            "cryptonight",
+		ProcessName:     "svchost.exe",
 		ContactsDomains: []string{"xt.freebuf.info"},
 		DownloadsURLs:   []string{"https://github.com/xmrig/xmrig/releases/xmrig.exe"},
 		DropsHashes:     []string{"deadbeefcafe"},
@@ -138,9 +138,9 @@ func TestRunObfuscatedSampleStillObservable(t *testing.T) {
 func TestRunNonMinerSample(t *testing.T) {
 	sb := New(dnssim.NewResolver(testZone()))
 	b := spec.Behavior{
-		IsMiner:       false,
-		DownloadsURLs: []string{"http://4i7i.com/11.exe"},
-		DropsHashes:   []string{"feedface"},
+		IsMiner:         false,
+		DownloadsURLs:   []string{"http://4i7i.com/11.exe"},
+		DropsHashes:     []string{"feedface"},
 		ContactsDomains: []string{"github.com"},
 	}
 	sha, content := buildSample(b, false)

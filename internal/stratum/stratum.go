@@ -68,9 +68,9 @@ func (e *Error) Error() string { return fmt.Sprintf("stratum error %d: %s", e.Co
 
 // LoginParams is the parameter object of the "login" method.
 type LoginParams struct {
-	Login string `json:"login"`
-	Pass  string `json:"pass"`
-	Agent string `json:"agent,omitempty"`
+	Login string   `json:"login"`
+	Pass  string   `json:"pass"`
+	Agent string   `json:"agent,omitempty"`
 	Algo  []string `json:"algo,omitempty"`
 }
 

@@ -148,7 +148,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.Network = pow.NewMoneroNetwork()
 	}
 	if cfg.QueryTime.IsZero() {
-		cfg.QueryTime = time.Now().UTC()
+		cfg.QueryTime = time.Now().UTC() //cryptolint:allow directclock default wiring: QueryTime defaults to the real clock exactly like the batch pipeline
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -157,7 +157,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.QueueDepth = 64
 	}
 	if cfg.Timeseries.Clock == nil {
-		cfg.Timeseries.Clock = time.Now
+		cfg.Timeseries.Clock = time.Now //cryptolint:allow directclock default wiring: the one site the engine Clock seam binds to the real clock
 	}
 	return cfg
 }

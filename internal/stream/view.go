@@ -57,7 +57,7 @@ func (e *Engine) publishViewLocked() {
 	campaigns, profits := e.liveCampaigns()
 	v := &View{
 		Epoch:        e.view.Load().Epoch + 1,
-		Published:    time.Now(),
+		Published:    e.publishInstant(),
 		Campaigns:    make([]CampaignView, 0, len(campaigns)),
 		Details:      make(map[int]CampaignDetail, len(campaigns)),
 		TimelineKeys: make(map[int]string, len(campaigns)),
@@ -79,10 +79,28 @@ func (e *Engine) publishViewLocked() {
 	e.view.Store(v)
 }
 
-// emptyView is the epoch-0 snapshot every engine starts with.
-func emptyView() *View {
+// publishInstant resolves the timestamp stamped on a published view. With
+// the timeseries store live the recording clock is a shared, possibly
+// logical sequence — a fresh reading here would consume a tick and shift
+// every later series point in replayed runs — so views reuse the batch's
+// already-read recording instant, falling back to the fixed analysis query
+// time before the first batch records. Only with the store disabled is the
+// clock free-standing, making a direct reading safe.
+func (e *Engine) publishInstant() time.Time {
+	if e.ts == nil {
+		return e.cfg.Timeseries.Clock()
+	}
+	if e.col != nil && !e.col.now.IsZero() {
+		return e.col.now
+	}
+	return e.cfg.QueryTime
+}
+
+// emptyView is the epoch-0 snapshot every engine starts with, stamped like
+// any published view so replayed runs stay identical.
+func emptyView(at time.Time) *View {
 	return &View{
-		Published:    time.Now(),
+		Published:    at,
 		Details:      map[int]CampaignDetail{},
 		TimelineKeys: map[int]string{},
 	}

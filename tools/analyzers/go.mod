@@ -1,0 +1,3 @@
+module cryptomining/tools/analyzers
+
+go 1.24

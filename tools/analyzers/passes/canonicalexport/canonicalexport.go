@@ -1,0 +1,169 @@
+// Package canonicalexport enforces deterministic serialization: inside
+// export/state/marshal functions, iterating a Go map and emitting what you
+// find (appending to a slice, writing to an encoder) must be followed by an
+// explicit sort before the data can leave the process.
+//
+// Go randomizes map iteration order on purpose. The repository's checkpoint
+// and resume machinery depends on ExportState producing byte-identical
+// snapshots for identical logical state — that is what makes the
+// crash-equivalence tests meaningful — so every collect-from-map site is
+// required to sort afterwards (the collect-then-sort idiom used throughout
+// internal/stream/state.go). This pass flags map ranges that emit without a
+// subsequent sort in the same function.
+//
+// The check is positional, not dataflow-precise: a sort.* or slices.Sort*
+// call anywhere after the range, in the same function body, satisfies it.
+// That is deliberately forgiving — the failure mode being guarded against is
+// the *absent* sort, not a misplaced one.
+package canonicalexport
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+var funcPattern string
+
+const name = "canonicalexport"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "flag map iteration that emits data in export/serialization functions without a subsequent sort",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&funcPattern, "funcs",
+		`(?i)(export|marshal|serialize|snapshot|state)`,
+		"regexp selecting the function names the invariant guards")
+}
+
+// emitters are method names whose call inside a map-range body counts as
+// emitting data in iteration order.
+var emitters = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+}
+
+// sorters maps package path -> acceptable ordering functions.
+var sorters = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	re, err := regexp.Compile(funcPattern)
+	if err != nil {
+		return nil, err
+	}
+	for _, file := range pass.Files {
+		dirs := lintutil.DirectivesFor(pass.Fset, file)
+		dirs.ReportMalformed(pass)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !re.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, dirs, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc flags emitting map-ranges in one guarded function that no later
+// sort call covers.
+func checkFunc(pass *analysis.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
+	var sortPositions []token.Pos
+	var suspects []*ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(pass.TypesInfo, e) && emits(pass.TypesInfo, e.Body) {
+				suspects = append(suspects, e)
+			}
+		case *ast.CallExpr:
+			if isSortCall(pass.TypesInfo, e) {
+				sortPositions = append(sortPositions, e.Pos())
+			}
+		}
+		return true
+	})
+	for _, r := range suspects {
+		sorted := false
+		for _, p := range sortPositions {
+			if p > r.End() {
+				sorted = true
+				break
+			}
+		}
+		if sorted || dirs.Allowed(name, r.Pos()) {
+			continue
+		}
+		pass.Reportf(r.Pos(),
+			"%s ranges over a map and emits in iteration order with no subsequent sort: map order is randomized, so the serialized output is nondeterministic — collect keys and sort them first",
+			fd.Name.Name)
+	}
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// emits reports whether the range body appends to anything or calls an
+// emitting method — i.e. whether iteration order escapes the loop.
+func emits(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if emitters[fun.Sel.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall reports whether the call is one of the recognized ordering
+// functions from sort or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := sorters[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}

@@ -1,0 +1,12 @@
+package canonicalexport_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/canonicalexport"
+)
+
+func TestCanonicalExport(t *testing.T) {
+	analysistest.Run(t, "testdata", canonicalexport.Analyzer, "export")
+}

@@ -1,0 +1,68 @@
+package export
+
+import (
+	"bytes"
+	"sort"
+)
+
+func ExportBad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `ExportBad ranges over a map and emits in iteration order with no subsequent sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// ExportGood is the collect-then-sort idiom the invariant demands.
+func ExportGood(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExportRebuild builds another map — iteration order never escapes.
+func ExportRebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// MarshalStream writes during iteration: the emission-without-sort shape.
+func MarshalStream(m map[string]bool, buf *bytes.Buffer) {
+	for k := range m { // want `MarshalStream ranges over a map and emits in iteration order with no subsequent sort`
+		buf.WriteString(k)
+	}
+}
+
+// collectKeys is not an export-shaped function name: out of scope.
+func collectKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SnapshotSlices ranges a slice, not a map.
+func SnapshotSlices(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// ExportSuppressed documents why order genuinely cannot matter here.
+func ExportSuppressed(m map[string]struct{}) []string {
+	var out []string
+	//cryptolint:allow canonicalexport order re-established by the caller's stable sort
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

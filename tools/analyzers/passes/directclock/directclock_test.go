@@ -1,0 +1,12 @@
+package directclock_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/directclock"
+)
+
+func TestDirectClock(t *testing.T) {
+	analysistest.Run(t, "testdata", directclock.Analyzer, "internal/stream", "plain")
+}

@@ -1,0 +1,31 @@
+package stream
+
+import "time"
+
+type engine struct{ clock func() time.Time }
+
+func (e *engine) bad() time.Time {
+	return time.Now() // want `direct time\.Now in a Clock-seam package`
+}
+
+func (e *engine) since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `direct time\.Since in a Clock-seam package`
+}
+
+func timer() {
+	_ = time.NewTimer(time.Second) // want `direct time\.NewTimer in a Clock-seam package`
+	<-time.After(time.Millisecond) // want `direct time\.After in a Clock-seam package`
+}
+
+// (time.Time).After shares a name with time.After but reads no clock.
+func methodNotClock(t time.Time) bool {
+	return t.After(time.Unix(0, 0))
+}
+
+func wired() *engine {
+	return &engine{clock: time.Now} //cryptolint:allow directclock test default wiring
+}
+
+func viaSeam(e *engine) time.Time {
+	return e.clock()
+}

@@ -1,0 +1,9 @@
+// Package plain is outside the guarded fragment list: direct clock reads
+// are not this pass's business here.
+package plain
+
+import "time"
+
+func fine() time.Time {
+	return time.Now()
+}

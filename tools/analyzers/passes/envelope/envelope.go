@@ -1,0 +1,132 @@
+// Package envelope enforces the API error contract:
+//
+//  1. Inside the API package, error responses go through the Server's
+//     envelope helper — never raw http.Error or a bare WriteHeader with a
+//     4xx/5xx constant. The envelope is what gives clients the stable
+//     {error:{code,message,request_id}} shape the SDK decodes; one raw
+//     http.Error leaks a text/plain body that breaks every typed consumer.
+//  2. Everywhere: a function that writes http.StatusMethodNotAllowed must
+//     set the Allow header in the same function. RFC 9110 §15.5.6 makes
+//     Allow mandatory on 405, and the SDK's retry layer keys off it.
+//
+// The helper functions themselves (by default "error" and "writeJSON") are
+// exempt from rule 1 — something has to call WriteHeader eventually.
+package envelope
+
+import (
+	"go/ast"
+	"strings"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+var (
+	apiPkg  string
+	helpers string
+)
+
+const name = "envelope"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "route API errors through the envelope helper and require Allow on 405 responses",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&apiPkg, "api-pkg", "internal/api",
+		"package-path fragment of the HTTP API package")
+	Analyzer.Flags.StringVar(&helpers, "helpers", "error,writeJSON",
+		"comma-separated function names allowed to write raw status codes")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	helperSet := map[string]bool{}
+	for _, h := range strings.Split(helpers, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			helperSet[h] = true
+		}
+	}
+	inAPI := lintutil.PkgMatches(pass.Pkg.Path(), apiPkg)
+	for _, file := range pass.Files {
+		dirs := lintutil.DirectivesFor(pass.Fset, file)
+		dirs.ReportMalformed(pass)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inAPI && !helperSet[fd.Name.Name] {
+				checkEnvelope(pass, dirs, fd)
+			}
+			checkAllow(pass, dirs, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkEnvelope flags raw error writes inside one API function.
+func checkEnvelope(pass *analysis.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if dirs.Allowed(name, call.Pos()) {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" {
+			pass.Reportf(call.Pos(),
+				"http.Error bypasses the API error envelope: clients expect the typed {error:{code,message}} body — use the Server error helper")
+			return true
+		}
+		if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+			if code, ok := lintutil.ConstInt(pass.TypesInfo, call.Args[0]); ok && code >= 400 {
+				pass.Reportf(call.Pos(),
+					"WriteHeader(%d) writes an error status without the envelope body: use the Server error helper", code)
+			}
+		}
+		return true
+	})
+}
+
+// checkAllow flags functions that write 405 without setting the Allow header.
+func checkAllow(pass *analysis.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
+	var use405 ast.Node
+	setsAllow := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if isStatus405(pass, e) && use405 == nil {
+				use405 = e
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Set" || sel.Sel.Name == "Add") && len(e.Args) >= 1 {
+				if key, ok := lintutil.ConstString(pass.TypesInfo, e.Args[0]); ok && key == "Allow" {
+					setsAllow = true
+				}
+			}
+		}
+		return true
+	})
+	if use405 != nil && !setsAllow && !dirs.Allowed(name, use405.Pos()) {
+		pass.Reportf(use405.Pos(),
+			"%s writes http.StatusMethodNotAllowed without setting the Allow header: RFC 9110 makes Allow mandatory on 405 and the SDK retry layer reads it",
+			fd.Name.Name)
+	}
+}
+
+// isStatus405 reports whether sel is a use of net/http.StatusMethodNotAllowed.
+func isStatus405(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return obj.Name() == "StatusMethodNotAllowed"
+}

@@ -1,0 +1,12 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/envelope"
+)
+
+func TestEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", envelope.Analyzer, "internal/api", "other")
+}

@@ -1,0 +1,41 @@
+package api
+
+import "net/http"
+
+type Server struct{}
+
+// error is the envelope helper: the one sanctioned WriteHeader site.
+func (s *Server) error(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+}
+
+// writeJSON is the success-path helper, also exempt.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+func (s *Server) handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the API error envelope`
+}
+
+func (s *Server) handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\) writes an error status without the envelope body`
+}
+
+func (s *Server) handleOK(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusCreated) // success statuses are not the envelope's business
+	s.error(w, http.StatusNotFound, "not_found", "no such campaign")
+}
+
+func (s *Server) methodsBad(w http.ResponseWriter) {
+	s.error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET") // want `methodsBad writes http\.StatusMethodNotAllowed without setting the Allow header`
+}
+
+func (s *Server) methodsOK(w http.ResponseWriter) {
+	w.Header().Set("Allow", "GET, HEAD")
+	s.error(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+}
+
+func (s *Server) suppressed(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "legacy", http.StatusGone) //cryptolint:allow envelope exercising the suppression path
+}

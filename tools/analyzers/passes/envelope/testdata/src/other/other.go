@@ -1,0 +1,18 @@
+// Package other is outside the API package: raw http.Error is fine here,
+// but the Allow-on-405 contract still applies everywhere.
+package other
+
+import "net/http"
+
+func guardBad(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusMethodNotAllowed) // want `guardBad writes http\.StatusMethodNotAllowed without setting the Allow header`
+}
+
+func guardOK(w http.ResponseWriter) {
+	w.Header().Set("Allow", "POST")
+	http.Error(w, "nope", http.StatusMethodNotAllowed)
+}
+
+func plainError(w http.ResponseWriter) {
+	http.Error(w, "fine outside the API package", http.StatusBadRequest)
+}

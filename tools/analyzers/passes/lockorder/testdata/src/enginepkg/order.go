@@ -1,0 +1,22 @@
+package enginepkg
+
+type system struct {
+	eng *Engine
+	st  *Store
+}
+
+// goodOrder follows the documented hierarchy: engine mutex first.
+func (s *system) goodOrder() {
+	s.eng.mu.Lock()
+	s.st.mu.Lock()
+	s.st.mu.Unlock()
+	s.eng.mu.Unlock()
+}
+
+// badOrder inverts it — rule 4.
+func (s *system) badOrder() {
+	s.st.mu.Lock()
+	s.eng.mu.Lock() // want `engine mutex acquired after the timeseries-store lock in badOrder`
+	s.eng.mu.Unlock()
+	s.st.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package tspkg
+
+import (
+	"sync"
+
+	"enginepkg" // want `timeseries package imports the engine package "enginepkg"`
+)
+
+type Store struct {
+	mu sync.RWMutex
+	e  *enginepkg.Engine
+}

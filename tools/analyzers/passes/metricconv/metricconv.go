@@ -1,0 +1,161 @@
+// Package metricconv enforces the observability layer's metric naming and
+// registration conventions at every obs.Registry call site:
+//
+//   - metric names are snake_case: ^[a-z][a-z0-9_]*$, no "__", no trailing "_"
+//   - counters (Counter/CounterFunc) end in "_total"
+//   - gauges (Gauge/GaugeFunc) do NOT end in "_total" — that suffix marks
+//     monotonic counters and misleads rate() queries
+//   - histograms end in "_seconds" or "_bytes", and their bucket ladder must
+//     reference a declared package-level ladder variable (obs.LatencyBuckets,
+//     obs.SizeBuckets, ...), never an inline []float64 literal — shared
+//     ladders keep dashboards comparable across metrics
+//   - "_seconds" histograms must not use the size ladder and "_bytes"
+//     histograms must not use the latency ladder
+//   - the help string is a non-empty constant
+//
+// Names that are not compile-time constants (registration loops over tables)
+// are skipped: the table itself is typed data the tests cover.
+package metricconv
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+var (
+	obsPkg       string
+	registryType string
+)
+
+const name = "metricconv"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "enforce metric naming (snake_case, _total/_seconds/_bytes) and declared bucket ladders at obs.Registry call sites",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&obsPkg, "obs-pkg", "internal/obs",
+		"package-path fragment of the observability registry")
+	Analyzer.Flags.StringVar(&registryType, "registry-type", "Registry",
+		"name of the registry type whose methods register metrics")
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registerKinds maps Registry method name -> metric kind.
+var registerKinds = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		dirs := lintutil.DirectivesFor(pass.Fset, file)
+		dirs.ReportMalformed(pass)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			kind, isReg := "", false
+			if fn != nil {
+				kind, isReg = registerKinds[fn.Name()]
+			}
+			if !isReg || !lintutil.MethodOn(fn, registryType, obsPkg) || len(call.Args) < 2 {
+				return true
+			}
+			if dirs.Allowed(name, call.Pos()) {
+				return true
+			}
+			checkRegistration(pass, call, fn.Name(), kind)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkRegistration applies every convention to one Registry call.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, method, kind string) {
+	name, ok := lintutil.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		// Dynamic names come from registration tables; the table contents are
+		// exercised by the owning package's tests, not this pass.
+		return
+	}
+	pos := call.Args[0].Pos()
+	if !snakeCase.MatchString(name) || strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+		pass.Reportf(pos, "metric name %q is not snake_case (want ^[a-z][a-z0-9_]*$ with no __ or trailing _)", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total: the suffix is how dashboards recognize monotonic series", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total: that suffix marks counters and misleads rate() queries", name)
+		}
+	case "histogram":
+		sfx := ""
+		switch {
+		case strings.HasSuffix(name, "_seconds"):
+			sfx = "_seconds"
+		case strings.HasSuffix(name, "_bytes"):
+			sfx = "_bytes"
+		default:
+			pass.Reportf(pos, "histogram %q must end in _seconds or _bytes so the unit is part of the name", name)
+		}
+		if len(call.Args) >= 3 {
+			checkLadder(pass, call.Args[2], name, sfx)
+		}
+	}
+	if help, ok := lintutil.ConstString(pass.TypesInfo, call.Args[1]); ok && strings.TrimSpace(help) == "" {
+		pass.Reportf(call.Args[1].Pos(), "metric %q registered with an empty help string: /metrics consumers get no documentation", name)
+	}
+}
+
+// checkLadder verifies the histogram bucket argument references a declared
+// package-level ladder variable matched to the metric's unit suffix.
+func checkLadder(pass *analysis.Pass, arg ast.Expr, name, sfx string) {
+	v := ladderVar(pass.TypesInfo, arg)
+	if v == nil {
+		pass.Reportf(arg.Pos(), "histogram %q uses an ad-hoc bucket ladder: reference a declared package-level ladder (e.g. obs.LatencyBuckets) so dashboards stay comparable", name)
+		return
+	}
+	switch {
+	case sfx == "_seconds" && strings.Contains(v.Name(), "Size"):
+		pass.Reportf(arg.Pos(), "histogram %q measures seconds but uses the size ladder %s", name, v.Name())
+	case sfx == "_bytes" && strings.Contains(v.Name(), "Latency"):
+		pass.Reportf(arg.Pos(), "histogram %q measures bytes but uses the latency ladder %s", name, v.Name())
+	}
+}
+
+// ladderVar resolves arg to the package-level variable it names, nil for
+// anything else (composite literals, locals, call results).
+func ladderVar(info *types.Info, arg ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,12 @@
+package metricconv_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/metricconv"
+)
+
+func TestMetricConv(t *testing.T) {
+	analysistest.Run(t, "testdata", metricconv.Analyzer, "consumer")
+}

@@ -1,0 +1,38 @@
+package consumer
+
+import "internal/obs"
+
+var localLadder = []float64{1, 2, 3}
+
+func register(reg *obs.Registry) {
+	reg.Counter("jobs_done_total", "Completed jobs.")
+	reg.Counter("jobs_done", "Missing suffix.")         // want `counter "jobs_done" must end in _total`
+	reg.Counter("JobsDone_total", "Upper-case letter.") // want `not snake_case`
+	reg.Counter("x__y_total", "Double underscore.")     // want `not snake_case`
+	reg.Counter("trail_total_", "Trailing underscore.") // want `not snake_case` `must end in _total`
+	reg.Counter("nohelp_total", "")                     // want `registered with an empty help string`
+	reg.CounterFunc("lazy_total", "Bridged counter.", func() float64 { return 0 })
+
+	reg.Gauge("queue_depth", "Queued items.", obs.L("queue", "in"))
+	reg.Gauge("queue_total", "Counter-suffixed gauge.") // want `gauge "queue_total" must not end in _total`
+	reg.GaugeFunc("backlog", "Lazy gauge.", func() float64 { return 0 })
+
+	reg.Histogram("req_seconds", "Latency.", obs.LatencyBuckets)
+	reg.Histogram("resp_bytes", "Size.", obs.SizeBuckets)
+	reg.Histogram("req_latency", "No unit suffix.", obs.LatencyBuckets) // want `must end in _seconds or _bytes`
+	reg.Histogram("blob_bytes", "Mismatched unit.", obs.LatencyBuckets) // want `measures bytes but uses the latency ladder`
+	reg.Histogram("wait_seconds", "Mismatched unit.", obs.SizeBuckets)  // want `measures seconds but uses the size ladder`
+	reg.Histogram("inline_seconds", "Ad hoc.", []float64{1, 2})         // want `ad-hoc bucket ladder`
+	reg.Histogram("local_seconds", "Package-level local ladder is fine.", localLadder)
+
+	// Named constants resolve like literals.
+	const promoted = "promoted_jobs"
+	reg.Counter(promoted, "Constant name, missing suffix.") // want `counter "promoted_jobs" must end in _total`
+
+	// Dynamic names are the registration-table idiom: skipped.
+	for _, name := range []string{"table_a_total", "table_b_total"} {
+		reg.Counter(name, "Table-driven registration.")
+	}
+
+	reg.Counter("legacy_count", "Grandfathered name.") //cryptolint:allow metricconv legacy series predates the convention
+}
