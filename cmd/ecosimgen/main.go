@@ -6,26 +6,46 @@
 // Usage:
 //
 //	ecosimgen -out /tmp/ecosystem -seed 42 -scale 1.0
+//
+// The streamed mode instead emits an endless NDJSON sample stream (one
+// apiv1.Sample per line, ready for streamd's bulk-ingest endpoint) in
+// constant memory, so million-sample ecosystems cost no more RAM than tiny
+// ones. The stream is seeded-deterministic: the same seed always produces
+// byte-identical output.
+//
+//	ecosimgen -stream -n 1000000 -seed 7 > samples.ndjson
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
+	"cryptomining/internal/api"
 	"cryptomining/internal/ecosim"
 )
 
 func main() {
 	var (
-		out   = flag.String("out", "ecosystem-out", "output directory")
-		seed  = flag.Int64("seed", 42, "generation seed")
-		scale = flag.Float64("scale", 1.0, "scale factor for campaign counts")
+		out    = flag.String("out", "ecosystem-out", "output directory")
+		seed   = flag.Int64("seed", 42, "generation seed")
+		scale  = flag.Float64("scale", 1.0, "scale factor for campaign counts")
+		stream = flag.Bool("stream", false, "emit an NDJSON sample stream on stdout instead of materializing a universe")
+		n      = flag.Int("n", 100000, "number of samples to emit in -stream mode")
 	)
 	flag.Parse()
+
+	if *stream {
+		if err := writeStream(os.Stdout, ecosim.StreamConfig{Seed: *seed}, *n); err != nil {
+			log.Fatalf("stream: %v", err)
+		}
+		return
+	}
 
 	cfg := ecosim.DefaultConfig().Scale(*scale)
 	cfg.Seed = *seed
@@ -68,6 +88,21 @@ func main() {
 	}
 	fmt.Printf("ecosystem written to %s: %d samples, %d campaigns, %d pools\n",
 		*out, u.Corpus.Len(), len(u.Campaigns), len(u.Pools.Names()))
+}
+
+// writeStream emits n NDJSON sample lines in constant memory: the generator
+// keeps only its bounded campaign working set, and each sample is encoded
+// and flushed without ever being retained.
+func writeStream(w io.Writer, cfg ecosim.StreamConfig, n int) error {
+	gen := ecosim.NewStream(cfg)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(api.SampleToWire(gen.Next().Sample)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func writeJSON(path string, v any) error {

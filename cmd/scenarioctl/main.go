@@ -1,0 +1,125 @@
+// Command scenarioctl drives a streamd daemon's what-if scenario endpoints
+// through the pkg/client SDK: it submits a scenario document, optionally
+// waits for the shadow replay to finish, and prints the resulting
+// baseline-vs-scenario delta as JSON.
+//
+// Usage:
+//
+//	scenarioctl -addr http://127.0.0.1:8090 -doc scenario.json -wait
+//	scenarioctl -addr http://127.0.0.1:8090 -list
+//	scenarioctl -addr http://127.0.0.1:8090 -id sc-1
+//	scenarioctl -addr http://127.0.0.1:8090 -id sc-1 -delta
+//
+// The document is an apiv1.ScenarioRequest:
+//
+//	{
+//	  "name": "ban-everything",
+//	  "interventions": [
+//	    {"kind": "pool_ban", "at": "2014-01-01T00:00:00Z",
+//	     "cooperation": {"*": {"cooperative": true, "min_ips_to_ban": 1}}}
+//	  ]
+//	}
+//
+// Exit status is non-zero on transport errors, rejected documents and failed
+// replays.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+	"cryptomining/pkg/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8090", "daemon base URL")
+		doc     = flag.String("doc", "", "scenario document to submit: a JSON file path, or - for stdin")
+		wait    = flag.Bool("wait", false, "after submitting, block until the replay finishes and print the delta")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline for -wait")
+		list    = flag.Bool("list", false, "list retained scenario jobs")
+		id      = flag.String("id", "", "fetch one job's status (with -delta: its delta) instead of submitting")
+		delta   = flag.Bool("delta", false, "with -id: fetch the completed job's delta")
+	)
+	flag.Parse()
+
+	c, err := client.New(*addr)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch {
+	case *list:
+		page, err := c.Scenarios(ctx)
+		if err != nil {
+			log.Fatalf("list scenarios: %v", err)
+		}
+		printJSON(page)
+	case *id != "" && *delta:
+		d, err := c.ScenarioDelta(ctx, *id)
+		if err != nil {
+			log.Fatalf("scenario delta: %v", err)
+		}
+		printJSON(d)
+	case *id != "":
+		st, err := c.Scenario(ctx, *id)
+		if err != nil {
+			log.Fatalf("scenario status: %v", err)
+		}
+		printJSON(st)
+	case *doc != "":
+		req, err := readDoc(*doc)
+		if err != nil {
+			log.Fatalf("read document: %v", err)
+		}
+		sub, err := c.SubmitScenario(ctx, req)
+		if err != nil {
+			log.Fatalf("submit scenario: %v", err)
+		}
+		if !*wait {
+			printJSON(sub)
+			return
+		}
+		d, err := c.WaitScenarioDelta(ctx, sub.ID)
+		if err != nil {
+			log.Fatalf("scenario %s: %v", sub.ID, err)
+		}
+		printJSON(d)
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -doc, -list or -id (see -h)")
+		os.Exit(2)
+	}
+}
+
+func readDoc(path string) (apiv1.ScenarioRequest, error) {
+	var req apiv1.ScenarioRequest
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return req, err
+	}
+	err = json.Unmarshal(data, &req)
+	return req, err
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatalf("encode output: %v", err)
+	}
+}

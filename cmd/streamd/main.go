@@ -45,7 +45,20 @@
 //	GET  /api/v1/probe          wallet-probe crawl telemetry
 //	POST /api/v1/probe/refresh  force re-probes (wallet= / scope=stale|all)
 //	POST /api/v1/finish         drain + seal final results on demand
+//	POST /api/v1/scenarios      submit a what-if scenario for shadow replay
+//	GET  /api/v1/scenarios      list retained scenario jobs
+//	GET  /api/v1/scenarios/{id} scenario job status
+//	GET  /api/v1/scenarios/{id}/delta
+//	                            baseline-vs-scenario comparison (503 +
+//	                            Retry-After while replaying)
 //	GET  /api/v1/healthz        liveness probe
+//
+// What-if scenarios (-scenario-workers, -scenario-retention) replay typed
+// intervention documents — pool wallet bans, wallet seizures, AV signature
+// rollouts, PoW fork events — against a shadow fork of the engine's exported
+// state with its own forked pool ledgers, private aggregator and timeseries
+// stores. The live collector, WAL and published views are never touched; the
+// delta endpoint reports per-campaign and ecosystem-wide earnings changes.
 //
 // Usage:
 //
@@ -87,6 +100,7 @@ import (
 	"cryptomining/internal/persist"
 	"cryptomining/internal/probe"
 	"cryptomining/internal/report"
+	"cryptomining/internal/scenario"
 	"cryptomining/internal/stream"
 	"cryptomining/internal/timeseries"
 	"cryptomining/pkg/apiv1"
@@ -117,6 +131,8 @@ func main() {
 		logFormat      = flag.String("log-format", "text", "log output format: text or json")
 		apiRate        = flag.Float64("api-rate", 0, "per-client GET rate limit in requests/sec (0 = unlimited); excess answers 429 + Retry-After")
 		apiBurst       = flag.Int("api-burst", 0, "per-client rate-limit burst depth (0 = -api-rate rounded up)")
+		scenWorkers    = flag.Int("scenario-workers", 1, "concurrent what-if scenario replays (0 disables the /api/v1/scenarios endpoints)")
+		scenRetention  = flag.Int("scenario-retention", 16, "scenario jobs retained for status/delta queries before the oldest finished job is evicted")
 		version        = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -160,6 +176,8 @@ func main() {
 		seriesRetention: *seriesRet,
 		apiRate:         *apiRate,
 		apiBurst:        *apiBurst,
+		scenWorkers:     *scenWorkers,
+		scenRetention:   *scenRetention,
 	})
 	if err != nil {
 		fatal("invalid flags", "err", err)
@@ -307,11 +325,29 @@ func main() {
 		return final, nil
 	}
 
+	// What-if scenario replays fork the engine's exported state into private
+	// shadows; the manager never touches the live collector, WAL or views.
+	var scenarios *scenario.Manager
+	if *scenWorkers > 0 {
+		scenarios, err = scenario.NewManager(scenario.Config{
+			Engine:        eng,
+			Base:          streamCfg,
+			MaxConcurrent: *scenWorkers,
+			MaxRetained:   *scenRetention,
+			Metrics:       reg,
+		})
+		if err != nil {
+			fatal("scenario manager", "err", err)
+		}
+		logd.Info("what-if scenarios enabled", "workers", *scenWorkers, "retention", *scenRetention)
+	}
+
 	apiCfg := api.Config{
 		Engine:      eng,
 		Submit:      submit,
 		DefaultTopN: *topN,
 		Probe:       prober,
+		Scenarios:   scenarios,
 		Logger:      logger,
 		Metrics:     reg,
 		RateLimit:   *apiRate,
@@ -511,6 +547,8 @@ type flagValues struct {
 	seriesRetention string
 	apiRate         float64
 	apiBurst        int
+	scenWorkers     int
+	scenRetention   int
 }
 
 // validateFlags rejects flag values that would otherwise produce undefined
@@ -552,6 +590,12 @@ func validateFlags(v flagValues) ([]timeseries.LevelSpec, error) {
 	}
 	if v.apiBurst < 0 {
 		return nil, fmt.Errorf("-api-burst %d: must be >= 0 (0 = default)", v.apiBurst)
+	}
+	if v.scenWorkers < 0 {
+		return nil, fmt.Errorf("-scenario-workers %d: must be >= 0 (0 = scenarios off)", v.scenWorkers)
+	}
+	if v.scenRetention < 0 {
+		return nil, fmt.Errorf("-scenario-retention %d: must be >= 0 (0 = default)", v.scenRetention)
 	}
 	if v.noSeries {
 		return nil, nil

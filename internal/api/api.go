@@ -30,6 +30,15 @@
 //	                            or ?scope=all
 //	POST /api/v1/finish         drain the engine and seal final results
 //	                            (409 when the daemon cannot force a drain)
+//	POST /api/v1/scenarios      submit a what-if scenario document; answers
+//	                            202 with the async job to poll (409 when the
+//	                            daemon runs without a scenario manager)
+//	GET  /api/v1/scenarios      list retained scenario jobs, newest first
+//	GET  /api/v1/scenarios/{id} one scenario job's status
+//	GET  /api/v1/scenarios/{id}/delta
+//	                            the completed job's baseline-vs-scenario
+//	                            comparison (503 + Retry-After while the
+//	                            replay is still running)
 //	GET  /api/v1/healthz        liveness probe
 //
 // Every response body is a typed pkg/apiv1 struct; every non-2xx response is
@@ -59,6 +68,7 @@ import (
 	"cryptomining/internal/model"
 	"cryptomining/internal/obs"
 	"cryptomining/internal/probe"
+	"cryptomining/internal/scenario"
 	"cryptomining/internal/stream"
 	"cryptomining/pkg/apiv1"
 )
@@ -86,6 +96,10 @@ type Config struct {
 	// /api/v1/probe, POST /api/v1/probe/refresh); nil answers 409
 	// probe_disabled.
 	Probe *probe.Scheduler
+	// Scenarios serves the what-if endpoints (POST/GET /api/v1/scenarios,
+	// GET /api/v1/scenarios/{id}, GET /api/v1/scenarios/{id}/delta); nil
+	// answers 409 scenario_disabled.
+	Scenarios *scenario.Manager
 	// DefaultTopN is the legacy /campaigns default page size (default 10).
 	DefaultTopN int
 	// RequestTimeout bounds each individual sample submission into the
@@ -192,6 +206,9 @@ func (s *Server) routes() http.Handler {
 	handle("/api/v1/probe", s.handleProbeStats, http.MethodGet)
 	handle("/api/v1/probe/refresh", s.handleProbeRefresh, http.MethodPost)
 	handle("/api/v1/finish", s.handleFinish, http.MethodPost)
+	handle("/api/v1/scenarios", s.handleScenarios, http.MethodGet, http.MethodPost)
+	handle("/api/v1/scenarios/{id}", s.handleScenarioStatus, http.MethodGet)
+	handle("/api/v1/scenarios/{id}/delta", s.handleScenarioDelta, http.MethodGet)
 
 	// Legacy aliases.
 	handle("/stats", s.handleStats, http.MethodGet)

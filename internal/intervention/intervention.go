@@ -59,8 +59,21 @@ func DefaultCooperation() PoolCooperation {
 // returns the per-pool outcomes. Pools are consulted with the given
 // cooperation policy; bans take effect at time `at`.
 func ReportWallets(dir *pool.Directory, wallets []string, coop PoolCooperation, at time.Time) []ReportOutcome {
+	return ReportWalletsTo(dir.Pools(), wallets, func(string) PoolCooperation { return coop }, at)
+}
+
+// ReportWalletsTo reports a set of wallets to an explicit pool set, with a
+// per-pool cooperation policy — the shape live what-if scenarios take, where
+// each operator reacts differently to the same abuse report. coopFor is
+// consulted once per pool by name; a nil coopFor applies DefaultCooperation
+// everywhere.
+func ReportWalletsTo(pools []*pool.Pool, wallets []string, coopFor func(poolName string) PoolCooperation, at time.Time) []ReportOutcome {
+	if coopFor == nil {
+		coopFor = func(string) PoolCooperation { return DefaultCooperation() }
+	}
 	var out []ReportOutcome
-	for _, p := range dir.Pools() {
+	for _, p := range pools {
+		coop := coopFor(p.Name)
 		for _, w := range wallets {
 			paid := p.TotalPaid(w)
 			ips := p.DistinctIPs(w)

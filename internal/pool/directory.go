@@ -1,8 +1,10 @@
 package pool
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cryptomining/internal/model"
 	"cryptomining/internal/pow"
@@ -10,7 +12,14 @@ import (
 
 // Directory holds the set of known mining pools the measurement queries, and
 // the domain-to-pool mapping the alias detector needs.
+//
+// The directory is safe for concurrent use: live interventions (wallet-ban
+// reports arriving over the API) mutate pool membership and ledgers while
+// probe crawls and keep-decision lookups read them, so the pool map is
+// guarded by its own lock. Individual pools carry their own mutex; the
+// directory lock only covers the name -> pool mapping.
 type Directory struct {
+	mu    sync.RWMutex
 	pools map[string]*Pool
 }
 
@@ -70,15 +79,24 @@ func NewDirectory(network *pow.Network) *Directory {
 
 // Get returns the pool with the given normalized name.
 func (d *Directory) Get(name string) (*Pool, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	p, ok := d.pools[name]
 	return p, ok
 }
 
-// Add registers an additional pool (e.g. a private pool for a test).
-func (d *Directory) Add(p *Pool) { d.pools[p.Name] = p }
+// Add registers an additional pool (e.g. a private pool for a test, or one
+// discovered mid-measurement by a streamed feed).
+func (d *Directory) Add(p *Pool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pools[p.Name] = p
+}
 
 // Names returns the pool names, sorted.
 func (d *Directory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.pools))
 	for n := range d.pools {
 		out = append(out, n)
@@ -89,7 +107,13 @@ func (d *Directory) Names() []string {
 
 // Pools returns the pools sorted by name.
 func (d *Directory) Pools() []*Pool {
-	names := d.Names()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.pools))
+	for n := range d.pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	out := make([]*Pool, 0, len(names))
 	for _, n := range names {
 		out = append(out, d.pools[n])
@@ -100,6 +124,8 @@ func (d *Directory) Pools() []*Pool {
 // DomainMap returns the domain -> pool-name map consumed by the CNAME alias
 // detector (dnssim.NewAliasDetector).
 func (d *Directory) DomainMap() map[string]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := map[string]string{}
 	for name, p := range d.pools {
 		for _, dom := range p.Domains {
@@ -133,6 +159,8 @@ func HostOfEndpoint(endpoint string) string {
 // PoolForDomain returns the pool a domain belongs to (matching the domain or
 // any of its parents), if any.
 func (d *Directory) PoolForDomain(domain string) (*Pool, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for name, p := range d.pools {
 		for _, dom := range p.Domains {
 			if domain == dom || hasSuffixDot(domain, dom) {
@@ -141,6 +169,29 @@ func (d *Directory) PoolForDomain(domain string) (*Pool, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Fork deep-copies the directory: every pool reappears with the same name,
+// domains, currency, policy and network model, but with an independent
+// ledger (wallet accounts, payments, bans). A what-if scenario mutates the
+// fork — banning wallets, retracting earnings — without the live directory
+// ever observing a write. Pool ledgers are copied through the canonical
+// snapshot round-trip, so a fork prices wallets bit-identically to its
+// source until the first intervention diverges them.
+func (d *Directory) Fork() (*Directory, error) {
+	out := &Directory{pools: map[string]*Pool{}}
+	for _, p := range d.Pools() {
+		snap, err := p.MarshalSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("pool: fork %s: %w", p.Name, err)
+		}
+		np := New(p.Name, p.Domains, p.Currency, p.Policy, p.network)
+		if err := np.UnmarshalSnapshot(snap); err != nil {
+			return nil, fmt.Errorf("pool: fork %s: %w", p.Name, err)
+		}
+		out.pools[np.Name] = np
+	}
+	return out, nil
 }
 
 func hasSuffixDot(name, suffix string) bool {

@@ -1,0 +1,154 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDirectoryConcurrentMutation drives the access pattern a live daemon
+// produces once interventions go live: one goroutine registering new pools
+// and banning wallets (the write side of a streamed feed with pool churn plus
+// abuse reports), while others crawl the directory the way the prober and the
+// keep decision do (Pools, Names, Get, DomainMap, PoolForDomain, Stats).
+// Run with -race; the unsynchronized map this replaced failed it.
+func TestDirectoryConcurrentMutation(t *testing.T) {
+	dir := NewDirectory(nil)
+	base := time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC)
+	for _, p := range dir.Pools() {
+		p.SimulateMining("wallet-A", 200, 5000, base, base.AddDate(0, 2, 0), 24*time.Hour, nil)
+	}
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			p := New(fmt.Sprintf("churn-%d", i), []string{fmt.Sprintf("churn-%d.example", i)},
+				"XMR", DefaultPolicy(), nil)
+			p.SimulateMining("wallet-B", 10, 1000, base, base.AddDate(0, 1, 0), 24*time.Hour, nil)
+			dir.Add(p)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for _, p := range dir.Pools() {
+				_ = p.BanWallet("wallet-A", base.AddDate(0, 1, 0))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			for _, p := range dir.Transparent() {
+				_, _ = p.Stats("wallet-A", base)
+				_ = p.DistinctIPs("wallet-B")
+			}
+			_ = dir.Names()
+			_ = dir.DomainMap()
+			_, _ = dir.Get("minexmr")
+			_, _ = dir.PoolForDomain("pool.minexmr.com")
+		}
+	}()
+	wg.Wait()
+
+	if _, ok := dir.Get(fmt.Sprintf("churn-%d", rounds-1)); !ok {
+		t.Fatalf("pool added during concurrent crawl is missing")
+	}
+}
+
+func TestDirectoryForkIsolation(t *testing.T) {
+	dir := NewDirectory(nil)
+	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+	live, _ := dir.Get("minexmr")
+	live.SimulateMining("wallet-F", 50, 20000, base, base.AddDate(0, 6, 0), 24*time.Hour, nil)
+	paidBefore := live.TotalPaid("wallet-F")
+	if paidBefore <= 0 {
+		t.Fatalf("expected simulated earnings before forking")
+	}
+
+	fork, err := dir.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	fp, ok := fork.Get("minexmr")
+	if !ok {
+		t.Fatalf("fork lost pool minexmr")
+	}
+	if got := fp.TotalPaid("wallet-F"); got != paidBefore {
+		t.Fatalf("fork ledger drifted: got %v want %v", got, paidBefore)
+	}
+
+	ret := fp.RetractEarningsFrom("wallet-F", base)
+	if ret.RemovedXMR <= 0 {
+		t.Fatalf("retraction removed nothing")
+	}
+	if got := fp.TotalPaid("wallet-F"); got != 0 {
+		t.Fatalf("fork retained %v XMR after full retraction", got)
+	}
+	if got := live.TotalPaid("wallet-F"); got != paidBefore {
+		t.Fatalf("live ledger mutated through fork: got %v want %v", got, paidBefore)
+	}
+	if live.IsBanned("wallet-F") {
+		t.Fatalf("live ledger banned through fork")
+	}
+}
+
+func TestRetractEarningsFrom(t *testing.T) {
+	p := New("testpool", []string{"testpool.example"}, "XMR", DefaultPolicy(), nil)
+	base := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	p.SimulateMining("w", 5, 30000, base, base.AddDate(0, 4, 0), 24*time.Hour, nil)
+	st, err := p.Stats("w", base.AddDate(1, 0, 0))
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if len(st.Payments) == 0 {
+		t.Fatalf("expected payments from simulated mining")
+	}
+
+	cut := base.AddDate(0, 2, 0)
+	var expectKept int
+	var expectPaid float64
+	for _, pay := range st.Payments {
+		if pay.Timestamp.Before(cut) {
+			expectKept++
+			expectPaid += pay.Amount
+		}
+	}
+	ret := p.RetractEarningsFrom("w", cut)
+	if ret.RemovedPayments != len(st.Payments)-expectKept {
+		t.Fatalf("removed %d payments, want %d", ret.RemovedPayments, len(st.Payments)-expectKept)
+	}
+
+	after, err := p.Stats("w", base.AddDate(1, 0, 0))
+	if err != nil {
+		t.Fatalf("Stats after retraction: %v", err)
+	}
+	if len(after.Payments) != expectKept {
+		t.Fatalf("kept %d payments, want %d", len(after.Payments), expectKept)
+	}
+	if after.TotalPaid != expectPaid {
+		t.Fatalf("total paid %v, want %v", after.TotalPaid, expectPaid)
+	}
+	if after.Balance != 0 {
+		t.Fatalf("balance %v after retraction, want 0", after.Balance)
+	}
+	if !after.Banned || !after.BannedAt.Equal(cut) {
+		t.Fatalf("wallet not banned at cut: banned=%v at=%v", after.Banned, after.BannedAt)
+	}
+	if !after.LastShare.Before(cut) {
+		t.Fatalf("last share %v not clamped before %v", after.LastShare, cut)
+	}
+
+	// Unknown wallets are a no-op and must not create an account.
+	if ret := p.RetractEarningsFrom("never-seen", cut); ret.RemovedXMR != 0 || ret.RemovedPayments != 0 {
+		t.Fatalf("retraction of unknown wallet removed %+v", ret)
+	}
+	if _, err := p.Stats("never-seen", cut); err == nil {
+		t.Fatalf("retraction created an account for an unknown wallet")
+	}
+}

@@ -264,6 +264,70 @@ func (p *Pool) BanWallet(user string, at time.Time) error {
 	return nil
 }
 
+// Retraction summarizes what RetractEarningsFrom removed from a ledger.
+type Retraction struct {
+	// Known reports whether the pool had an account for the wallet at all —
+	// a known wallet is banned and clamped even when nothing was removed,
+	// which still changes its activity status.
+	Known bool
+	// RemovedXMR is the sum of the removed payouts plus the zeroed balance.
+	RemovedXMR float64
+	// RemovedPayments counts the payout records dropped.
+	RemovedPayments int
+}
+
+// RetractEarningsFrom rewrites a wallet's ledger as if the pool had banned it
+// at `at`: every payout at or after that instant is removed from the payment
+// history and the total paid, the unpaid balance is zeroed (it would never
+// have been paid out), the last share is clamped to just before the ban, and
+// the wallet is marked banned. This is the counterfactual primitive of the
+// what-if scenario engine — Stats deliberately reports full history for a
+// banned wallet (real pools keep serving past payouts), so measuring "what
+// if the ban had happened at t" requires truncating the forked ledger, never
+// a live one. A wallet the pool has never seen is a no-op: no account is
+// created.
+func (p *Pool) RetractEarningsFrom(user string, at time.Time) Retraction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ret Retraction
+	acct, ok := p.wallets[user]
+	if !ok {
+		return ret
+	}
+	ret.Known = true
+	kept := acct.payments[:0]
+	var keptPaid float64
+	for _, pay := range acct.payments {
+		if pay.Timestamp.Before(at) {
+			kept = append(kept, pay)
+			keptPaid += pay.Amount
+			continue
+		}
+		ret.RemovedXMR += pay.Amount
+		ret.RemovedPayments++
+	}
+	acct.payments = kept
+	// Credit records every payout in the ledger even when the stats API hides
+	// the history, so recomputing from the kept list is exact — subtracting
+	// would leave float residue behind a "fully retracted" wallet.
+	acct.totalPaid = keptPaid
+	ret.RemovedXMR += acct.balance
+	acct.balance = 0
+	if acct.lastShare.After(at) || acct.lastShare.Equal(at) {
+		acct.lastShare = at.Add(-time.Nanosecond)
+	}
+	trimmed := acct.historic[:0]
+	for _, hp := range acct.historic {
+		if hp.Timestamp.Before(at) {
+			trimmed = append(trimmed, hp)
+		}
+	}
+	acct.historic = trimmed
+	acct.banned = true
+	acct.bannedAt = at
+	return ret
+}
+
 // IsBanned reports whether the wallet is banned.
 func (p *Pool) IsBanned(user string) bool {
 	p.mu.Lock()

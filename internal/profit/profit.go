@@ -165,6 +165,17 @@ func (cc *CachedCollector) CollectWallet(wallet string) WalletActivity {
 	return act
 }
 
+// Invalidate drops one wallet's memoized activity, forcing the next
+// CollectWallet to re-query the pools. The what-if scenario engine calls it
+// after mutating a forked ledger (ban + retraction), where the "activity
+// never changes within one measurement" premise of the memo deliberately no
+// longer holds.
+func (cc *CachedCollector) Invalidate(wallet string) {
+	cc.mu.Lock()
+	delete(cc.cache, wallet)
+	cc.mu.Unlock()
+}
+
 // Size returns the number of cached wallets.
 func (cc *CachedCollector) Size() int {
 	cc.mu.Lock()

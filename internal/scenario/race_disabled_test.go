@@ -1,0 +1,5 @@
+//go:build !race
+
+package scenario_test
+
+const raceEnabled = false

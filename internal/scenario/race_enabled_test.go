@@ -1,0 +1,7 @@
+//go:build race
+
+package scenario_test
+
+// raceEnabled gates down the large-scale replay test when the race detector
+// multiplies its cost.
+const raceEnabled = true

@@ -25,6 +25,9 @@ const (
 	CodeFinishUnavailable   = "finish_unavailable"
 	CodeTimeseriesDisabled  = "timeseries_disabled"
 	CodeRateLimited         = "rate_limited"
+	CodeScenarioDisabled    = "scenario_disabled"
+	CodeScenarioCapacity    = "scenario_capacity"
+	CodeScenarioPending     = "scenario_pending"
 )
 
 // Error is the body of the uniform error envelope.
@@ -314,3 +317,153 @@ const (
 	TimelineWallets = "wallets"
 	TimelineXMR     = "xmr"
 )
+
+// Scenario intervention kinds accepted in ScenarioIntervention.Kind.
+const (
+	ScenarioPoolBan       = "pool_ban"
+	ScenarioWalletSeizure = "wallet_seizure"
+	ScenarioAVRollout     = "av_rollout"
+	ScenarioPowFork       = "pow_fork"
+)
+
+// ScenarioCooperation configures one pool's posture towards abuse reports in
+// a pool_ban intervention.
+type ScenarioCooperation struct {
+	// Cooperative pools act on reports; uncooperative pools ignore them.
+	Cooperative bool `json:"cooperative"`
+	// MinIPsToBan is the connection-count threshold below which a
+	// cooperative pool suspects a proxy and declines to ban (0 = pool
+	// default).
+	MinIPsToBan int `json:"min_ips_to_ban,omitempty"`
+}
+
+// ScenarioIntervention is one timestamped what-if action.
+type ScenarioIntervention struct {
+	// Kind selects the intervention (see the Scenario* constants).
+	Kind string `json:"kind"`
+	// At is the historical instant the intervention is imagined to have
+	// happened: ledger history at or after it is rewritten.
+	At time.Time `json:"at"`
+	// Wallets scopes the intervention (required for wallet_seizure; a
+	// pool_ban with no wallets reports every observed wallet).
+	Wallets []string `json:"wallets,omitempty"`
+	// Pools scopes a pool_ban to the named pools (default: all).
+	Pools []string `json:"pools,omitempty"`
+	// Cooperation maps pool name -> posture for pool_ban; "*" sets the
+	// default for unnamed pools.
+	Cooperation map[string]ScenarioCooperation `json:"cooperation,omitempty"`
+	// Families scopes an av_rollout: campaigns attributed to any of these
+	// families (PPI botnets, stock tools, known operations) cease.
+	Families []string `json:"families,omitempty"`
+	// MaintainedCampaigns exempts campaign IDs from a pow_fork die-off.
+	MaintainedCampaigns []int `json:"maintained_campaigns,omitempty"`
+}
+
+// ScenarioRequest is the body of POST /api/v1/scenarios.
+type ScenarioRequest struct {
+	Name          string                 `json:"name,omitempty"`
+	Description   string                 `json:"description,omitempty"`
+	Interventions []ScenarioIntervention `json:"interventions"`
+}
+
+// ScenarioStatus is one scenario job's lifecycle record
+// (POST /api/v1/scenarios and GET /api/v1/scenarios/{id}).
+type ScenarioStatus struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	State       string    `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Error carries the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+// ScenarioStatusPage lists retained scenario jobs, newest first
+// (GET /api/v1/scenarios).
+type ScenarioStatusPage struct {
+	Scenarios []ScenarioStatus `json:"scenarios"`
+}
+
+// ScenarioSubmitted acknowledges POST /api/v1/scenarios with the job to poll.
+type ScenarioSubmitted struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// ScenarioTotals is one world's ecosystem summary inside a scenario delta.
+type ScenarioTotals struct {
+	XMR       float64 `json:"xmr"`
+	USD       float64 `json:"usd"`
+	Campaigns int64   `json:"campaigns"`
+	Wallets   int64   `json:"wallets"`
+	Kept      int64   `json:"kept"`
+}
+
+// ScenarioBucketDelta is one instant of a baseline-vs-scenario series
+// comparison.
+type ScenarioBucketDelta struct {
+	Start    int64   `json:"start"`
+	Baseline float64 `json:"baseline"`
+	Scenario float64 `json:"scenario"`
+	Delta    float64 `json:"delta"`
+}
+
+// ScenarioSeriesDelta is one named ecosystem series' comparison.
+type ScenarioSeriesDelta struct {
+	Metric string                `json:"metric"`
+	Points []ScenarioBucketDelta `json:"points"`
+}
+
+// ScenarioCampaignDelta compares one campaign's earnings across the two
+// worlds; campaigns whose earnings did not change are omitted.
+type ScenarioCampaignDelta struct {
+	ID          int     `json:"id"`
+	BaselineXMR float64 `json:"baseline_xmr"`
+	ScenarioXMR float64 `json:"scenario_xmr"`
+	DeltaXMR    float64 `json:"delta_xmr"`
+	BaselineUSD float64 `json:"baseline_usd"`
+	ScenarioUSD float64 `json:"scenario_usd"`
+	DeltaUSD    float64 `json:"delta_usd"`
+	// Timeline is the cumulative-XMR comparison over the campaign's
+	// longitudinal series (absent when unchanged or series are disabled).
+	Timeline []ScenarioBucketDelta `json:"timeline,omitempty"`
+}
+
+// ScenarioReportOutcome is one (pool, wallet) abuse-report outcome of a
+// pool_ban intervention.
+type ScenarioReportOutcome struct {
+	Pool   string `json:"pool"`
+	Wallet string `json:"wallet"`
+	Banned bool   `json:"banned"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ScenarioApplied records what one intervention actually did.
+type ScenarioApplied struct {
+	Kind            string                  `json:"kind"`
+	At              time.Time               `json:"at"`
+	ReplayInstant   time.Time               `json:"replay_instant"`
+	AffectedWallets []string                `json:"affected_wallets,omitempty"`
+	RemovedXMR      float64                 `json:"removed_xmr"`
+	Outcomes        []ScenarioReportOutcome `json:"outcomes,omitempty"`
+	CeasedCampaigns []int                   `json:"ceased_campaigns,omitempty"`
+}
+
+// ScenarioDelta is a completed scenario's full comparison
+// (GET /api/v1/scenarios/{id}/delta).
+type ScenarioDelta struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	Description string    `json:"description,omitempty"`
+	ForkedAt    time.Time `json:"forked_at"`
+	// Baseline and Scenario summarize each world's totals at replay end.
+	Baseline ScenarioTotals `json:"baseline"`
+	Scenario ScenarioTotals `json:"scenario"`
+	// Campaigns lists changed campaigns, largest XMR reduction first.
+	Campaigns []ScenarioCampaignDelta `json:"campaigns,omitempty"`
+	// Ecosystem compares ecosystem-wide series.
+	Ecosystem []ScenarioSeriesDelta `json:"ecosystem,omitempty"`
+	// Applied is the intervention audit trail, in replay order.
+	Applied []ScenarioApplied `json:"applied,omitempty"`
+}

@@ -1,0 +1,81 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cryptomining/pkg/apiv1"
+)
+
+// SubmitScenario submits a what-if scenario document for asynchronous replay
+// and returns the job to poll with Scenario / ScenarioDelta. Daemons running
+// without a scenario manager answer 409 (code scenario_disabled); a full job
+// table answers 503 (code scenario_capacity).
+func (c *Client) SubmitScenario(ctx context.Context, req apiv1.ScenarioRequest) (apiv1.ScenarioSubmitted, error) {
+	var out apiv1.ScenarioSubmitted
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return out, fmt.Errorf("client: encode scenario: %w", err)
+	}
+	err = c.do(ctx, http.MethodPost, "/api/v1/scenarios", nil, bytes.NewReader(buf), "application/json", &out)
+	return out, err
+}
+
+// Scenarios lists the daemon's retained scenario jobs, newest first.
+func (c *Client) Scenarios(ctx context.Context) (apiv1.ScenarioStatusPage, error) {
+	var out apiv1.ScenarioStatusPage
+	err := c.do(ctx, http.MethodGet, "/api/v1/scenarios", nil, nil, "", &out)
+	return out, err
+}
+
+// Scenario fetches one scenario job's status.
+func (c *Client) Scenario(ctx context.Context, id string) (apiv1.ScenarioStatus, error) {
+	var out apiv1.ScenarioStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/scenarios/"+id, nil, nil, "", &out)
+	return out, err
+}
+
+// ScenarioDelta fetches a completed job's baseline-vs-scenario comparison.
+// While the replay is still running the daemon answers 503 (code
+// scenario_pending) with a Retry-After hint; detect that with
+// IsScenarioPending.
+func (c *Client) ScenarioDelta(ctx context.Context, id string) (apiv1.ScenarioDelta, error) {
+	var out apiv1.ScenarioDelta
+	err := c.do(ctx, http.MethodGet, "/api/v1/scenarios/"+id+"/delta", nil, nil, "", &out)
+	return out, err
+}
+
+// IsScenarioPending reports whether err is the "scenario still replaying"
+// condition pollers should retry on.
+func IsScenarioPending(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == apiv1.CodeScenarioPending
+}
+
+// WaitScenarioDelta polls until the job completes and returns its delta,
+// honouring the server's Retry-After hints (minimum 100ms between polls).
+// Context cancellation aborts the wait; a failed job surfaces as the
+// server's 409 error.
+func (c *Client) WaitScenarioDelta(ctx context.Context, id string) (apiv1.ScenarioDelta, error) {
+	for {
+		delta, err := c.ScenarioDelta(ctx, id)
+		if !IsScenarioPending(err) {
+			return delta, err
+		}
+		wait := 100 * time.Millisecond
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return apiv1.ScenarioDelta{}, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}

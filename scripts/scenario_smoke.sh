@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# scenario_smoke.sh — end-to-end smoke test of the what-if scenario engine.
+#
+# Starts streamd with its deterministic feed, waits for the replay to drain,
+# snapshots the live read tier (/api/v1/results, /api/v1/campaigns,
+# /api/v1/timeseries), runs a pool-ban scenario through the scenarioctl SDK
+# CLI, and asserts two things:
+#
+#   1. shadow isolation — the live snapshots are byte-identical before and
+#      after the replay (a scenario must never leak into the live engine);
+#   2. the delta is non-empty — the scenario world earned measurably less
+#      XMR than the baseline, with per-campaign deltas present.
+#
+# Usage: scripts/scenario_smoke.sh [path-to-streamd-binary] [path-to-scenarioctl]
+set -euo pipefail
+
+BIN=${1:-./streamd}
+CTL=${2:-}
+SEED=7
+SCALE=0.12
+PORT=18293
+WORK=$(mktemp -d)
+trap 'kill -9 ${PIDS[@]:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PIDS=()
+
+if [ -z "$CTL" ]; then
+  echo "== build scenarioctl =="
+  go build -o "$WORK/scenarioctl" ./cmd/scenarioctl
+  CTL="$WORK/scenarioctl"
+fi
+
+echo "== streamd with deterministic feed =="
+"$BIN" -seed $SEED -scale $SCALE -http 127.0.0.1:$PORT >"$WORK/streamd.log" 2>&1 &
+PIDS+=($!)
+
+for i in $(seq 1 120); do
+  if curl -sf "http://127.0.0.1:$PORT/api/v1/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 120 ]; then
+    echo "FATAL: streamd never became healthy" >&2
+    cat "$WORK/streamd.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+echo "== wait for the feed replay to drain =="
+for i in $(seq 1 240); do
+  if curl -sf "http://127.0.0.1:$PORT/api/v1/results" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 240 ]; then
+    echo "FATAL: replay never drained" >&2
+    cat "$WORK/streamd.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+echo "== snapshot the live read tier =="
+curl -sf "http://127.0.0.1:$PORT/api/v1/results"    >"$WORK/results.before"
+curl -sf "http://127.0.0.1:$PORT/api/v1/campaigns"  >"$WORK/campaigns.before"
+curl -sf "http://127.0.0.1:$PORT/api/v1/timeseries" >"$WORK/timeseries.before"
+
+echo "== run a pool-ban scenario via the SDK =="
+cat >"$WORK/scenario.json" <<'JSON'
+{
+  "name": "smoke-pool-ban",
+  "description": "every pool cooperates and bans every reported wallet",
+  "interventions": [
+    {
+      "kind": "pool_ban",
+      "at": "2014-01-01T00:00:00Z",
+      "cooperation": {"*": {"cooperative": true, "min_ips_to_ban": 1}}
+    }
+  ]
+}
+JSON
+"$CTL" -addr "http://127.0.0.1:$PORT" -doc "$WORK/scenario.json" -wait >"$WORK/delta.json"
+
+echo "== delta must be non-empty and negative =="
+python3 - "$WORK/delta.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+base, scen = d["baseline"], d["scenario"]
+assert base["xmr"] > 0, "baseline priced no XMR"
+assert scen["xmr"] < base["xmr"], f"scenario did not reduce earnings: {scen['xmr']} vs {base['xmr']}"
+assert d.get("campaigns"), "no per-campaign deltas"
+assert d["campaigns"][0]["delta_xmr"] < 0, "first campaign delta is not a reduction"
+assert d.get("applied") and d["applied"][0].get("outcomes"), "no intervention audit trail"
+print(f"delta OK: baseline {base['xmr']:.1f} XMR -> scenario {scen['xmr']:.1f} XMR, "
+      f"{len(d['campaigns'])} campaigns changed")
+PY
+
+echo "== live read tier must be byte-identical =="
+curl -sf "http://127.0.0.1:$PORT/api/v1/results"    >"$WORK/results.after"
+curl -sf "http://127.0.0.1:$PORT/api/v1/campaigns"  >"$WORK/campaigns.after"
+curl -sf "http://127.0.0.1:$PORT/api/v1/timeseries" >"$WORK/timeseries.after"
+for f in results campaigns timeseries; do
+  if ! cmp -s "$WORK/$f.before" "$WORK/$f.after"; then
+    echo "FATAL: scenario run changed live /$f" >&2
+    diff "$WORK/$f.before" "$WORK/$f.after" | head >&2 || true
+    exit 1
+  fi
+done
+
+echo "== job listing serves the finished run =="
+"$CTL" -addr "http://127.0.0.1:$PORT" -list | grep -q '"state": "done"'
+
+echo "OK: scenario smoke passed"

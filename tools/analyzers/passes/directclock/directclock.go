@@ -52,7 +52,7 @@ var Analyzer = &analysis.Analyzer{
 
 func init() {
 	Analyzer.Flags.StringVar(&guardedPkgs, "pkgs",
-		"internal/stream,internal/probe,internal/timeseries,internal/sandbox,internal/feeds,internal/pool,internal/persist,internal/api",
+		"internal/stream,internal/probe,internal/timeseries,internal/sandbox,internal/feeds,internal/pool,internal/persist,internal/api,internal/scenario",
 		"comma-separated package-path fragments the invariant guards")
 }
 
