@@ -1,7 +1,10 @@
 package api
 
 import (
+	"encoding/json"
 	"testing"
+
+	"cryptomining/pkg/apiv1"
 )
 
 // FuzzDecodeCursor drives the ?cursor= parser with arbitrary client input.
@@ -43,6 +46,45 @@ func FuzzCursorRoundTrip(f *testing.F) {
 		}
 		if got != offset {
 			t.Fatalf("cursor round-trip: encoded offset %d, decoded %d", offset, got)
+		}
+	})
+}
+
+// FuzzScenarioDocument drives the scenario JSON validator with arbitrary
+// request bodies: decode the wire request, convert it to the engine
+// document, validate. The pipeline must never panic, and validation must be
+// a pure function of the document — the same bytes re-decoded and
+// re-validated reach the same verdict.
+func FuzzScenarioDocument(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"interventions":[]}`)
+	f.Add(`{"name":"fork","interventions":[{"kind":"pow_fork","at":"2018-06-01T00:00:00Z"}]}`)
+	f.Add(`{"interventions":[{"kind":"pool_ban","at":"2018-03-01T00:00:00Z","wallets":["4A1b"],"pools":["minexmr"],"cooperation":{"*":{"cooperative":true,"min_ips_to_ban":3}}}]}`)
+	f.Add(`{"interventions":[{"kind":"wallet_seizure","at":"2018-03-01T00:00:00Z","wallets":["4A1b","9z"]}]}`)
+	f.Add(`{"interventions":[{"kind":"av_rollout","at":"2018-03-01T00:00:00Z","families":["adylkuzz"]}]}`)
+	f.Add(`{"interventions":[{"kind":"pow_fork","at":"2018-06-01T00:00:00Z","maintained_campaigns":[1,2,3]}]}`)
+	f.Add(`{"interventions":[{"kind":"nuke","at":"2018-06-01T00:00:00Z"}]}`)
+	f.Add(`{"interventions":[{"kind":"pool_ban"}]}`)
+	f.Add(`{"interventions":[{"kind":"wallet_seizure","at":"2018-03-01T00:00:00Z","wallets":[" "]}]}`)
+	f.Add(`not json`)
+	f.Add(`{"interventions":[{"at":"0001-01-01T00:00:00Z"}]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var req apiv1.ScenarioRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			return
+		}
+		doc := scenarioDocFromWire(req)
+		err1 := doc.Validate()
+
+		var req2 apiv1.ScenarioRequest
+		if err := json.Unmarshal([]byte(body), &req2); err != nil {
+			t.Fatalf("second decode of accepted body failed: %v", err)
+		}
+		doc2 := scenarioDocFromWire(req2)
+		err2 := doc2.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("validation verdict not idempotent: first %v, second %v", err1, err2)
 		}
 	})
 }

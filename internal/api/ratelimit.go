@@ -25,7 +25,7 @@ type rateLimiter struct {
 	now func() time.Time
 
 	mu      sync.Mutex
-	clients map[string]*tokenBucket
+	clients map[string]*tokenBucket //cryptolint:guardedby mu
 }
 
 type tokenBucket struct {

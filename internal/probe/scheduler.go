@@ -157,19 +157,22 @@ type Scheduler struct {
 	clock Clock
 
 	mu       sync.Mutex
-	queue    taskHeap
-	queued   map[string]bool // queued or in flight
-	cache    map[string]*Entry
-	seq      uint64
-	inflight int
-	waiters  []chan struct{}
+	queue    taskHeap          //cryptolint:guardedby mu
+	queued   map[string]bool   //cryptolint:guardedby mu (queued or in flight)
+	cache    map[string]*Entry //cryptolint:guardedby mu
+	seq      uint64            //cryptolint:guardedby mu
+	inflight int               //cryptolint:guardedby mu
+	waiters  []chan struct{}   //cryptolint:guardedby mu
+	// buckets and pools are populated once in New and immutable after —
+	// their values carry their own synchronization (reserve CAS loop,
+	// atomic counters) — so neither is annotated as mu-guarded.
 	buckets  map[string]*tokenBucket
 	pools    map[string]*poolCounters
 	onUpdate func(Update)
-	started  bool
+	started  bool //cryptolint:guardedby mu
 	// refreshOff disables the periodic TTL sweep (set once results are
 	// finalized).
-	refreshOff bool
+	refreshOff bool //cryptolint:guardedby mu
 
 	completed atomic.Uint64
 	// hits / misses count cache reads (CollectWallet), for the cache-hit-rate
@@ -474,6 +477,7 @@ func (s *Scheduler) Converged() bool {
 
 // WaitConverged blocks until the crawl drains (or ctx expires).
 func (s *Scheduler) WaitConverged(ctx context.Context) error {
+	//cryptolint:allow guardedby the predicate closure runs under s.mu inside wait
 	return s.wait(ctx, func() bool { return len(s.queue) == 0 && s.inflight == 0 })
 }
 
@@ -485,6 +489,7 @@ func (s *Scheduler) WaitConverged(ctx context.Context) error {
 func (s *Scheduler) WaitCached(ctx context.Context, wallets []string) error {
 	return s.wait(ctx, func() bool {
 		for _, w := range wallets {
+			//cryptolint:allow guardedby the predicate closure runs under s.mu inside wait
 			if w != "" && s.cache[w] == nil {
 				return false
 			}

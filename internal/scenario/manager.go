@@ -73,15 +73,16 @@ type Manager struct {
 	sem chan struct{}
 
 	mu   sync.Mutex
-	jobs map[string]*Job
+	jobs map[string]*Job //cryptolint:guardedby mu
 	// order retains submission order for capacity eviction.
-	order []string
-	seq   int
+	order []string //cryptolint:guardedby mu
+	seq   int      //cryptolint:guardedby mu
 
-	runsOK  *obs.Counter
-	runsErr *obs.Counter
-	active  *obs.Gauge
-	dur     *obs.Histogram
+	runsOK       *obs.Counter
+	runsErr      *obs.Counter
+	runsRejected *obs.Counter
+	active       *obs.Gauge
+	dur          *obs.Histogram
 }
 
 // NewManager validates the configuration and builds a manager. No goroutines
@@ -111,8 +112,10 @@ func NewManager(cfg Config) (*Manager, error) {
 		jobs: map[string]*Job{},
 	}
 	if reg := cfg.Metrics; reg != nil {
-		m.runsOK = reg.Counter("scenario_runs_total", "Completed scenario replays by outcome.", obs.L("outcome", "ok"))
-		m.runsErr = reg.Counter("scenario_runs_total", "Completed scenario replays by outcome.", obs.L("outcome", "error"))
+		const runsHelp = "Scenario runs by outcome: replay completed ok or with an error, or submission rejected at the retention cap."
+		m.runsOK = reg.Counter("scenario_runs_total", runsHelp, obs.L("outcome", "ok"))
+		m.runsErr = reg.Counter("scenario_runs_total", runsHelp, obs.L("outcome", "error"))
+		m.runsRejected = reg.Counter("scenario_runs_total", runsHelp, obs.L("outcome", "rejected"))
 		m.active = reg.Gauge("scenario_active", "Scenario replays currently running.")
 		m.dur = reg.Histogram("scenario_replay_duration_seconds", "Wall-clock duration of scenario replays.", obs.LatencyBuckets)
 	}
@@ -128,6 +131,9 @@ func (m *Manager) Submit(doc Document) (string, error) {
 	m.mu.Lock()
 	if err := m.evictForAdmissionLocked(); err != nil {
 		m.mu.Unlock()
+		if m.runsRejected != nil {
+			m.runsRejected.Inc()
+		}
 		return "", err
 	}
 	m.seq++

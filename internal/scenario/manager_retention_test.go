@@ -1,0 +1,105 @@
+package scenario_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cryptomining/internal/model"
+	"cryptomining/internal/obs"
+	"cryptomining/internal/scenario"
+)
+
+// gateClock wraps logicalClock and blocks its third reading — the shadow
+// fork instant of the first submitted job, which the manager takes outside
+// its mutex — until released, pinning that job in StateRunning so retention
+// behavior against a mid-run job is deterministic.
+type gateClock struct {
+	inner   logicalClock
+	n       atomic.Int64
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateClock) now() time.Time {
+	if g.n.Add(1) == 3 {
+		close(g.entered)
+		<-g.release
+	}
+	return g.inner.now()
+}
+
+func powFork() scenario.Document {
+	return scenario.Document{Interventions: []scenario.Intervention{
+		{Kind: scenario.KindPowFork, At: model.Date(2018, 6, 1)},
+	}}
+}
+
+func TestRetentionCapacityMidRunAndEviction(t *testing.T) {
+	eng, cfg, _ := newStreamedEngine(t, 11, 100)
+	reg := obs.NewRegistry()
+	g := &gateClock{entered: make(chan struct{}), release: make(chan struct{})}
+	m, err := scenario.NewManager(scenario.Config{
+		Engine:      eng,
+		Base:        cfg,
+		Now:         g.now,
+		MaxRetained: 1,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+
+	id1, err := m.Submit(powFork())
+	if err != nil {
+		t.Fatalf("Submit job 1: %v", err)
+	}
+	<-g.entered // job 1 is now mid-run, its fork clock parked
+
+	if j, err := m.Job(id1); err != nil || j.State != scenario.StateRunning {
+		t.Fatalf("job 1 should be running: state=%v err=%v", j.State, err)
+	}
+	// The cap is fully occupied by a mid-run job: admission must reject
+	// rather than evict it.
+	if _, err := m.Submit(powFork()); !errors.Is(err, scenario.ErrCapacity) {
+		t.Fatalf("submit at capacity: want ErrCapacity, got %v", err)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `scenario_runs_total{outcome="rejected"} 1`) {
+		t.Fatalf("rejected outcome not exported:\n%s", b.String())
+	}
+
+	close(g.release)
+	j1, err := m.Wait(id1, time.Minute)
+	if err != nil {
+		t.Fatalf("Wait(job 1): %v", err)
+	}
+	if j1.State != scenario.StateDone {
+		t.Fatalf("job 1 did not finish: state=%v error=%q", j1.State, j1.Error)
+	}
+
+	// With job 1 finished, the next submission evicts it: retention is
+	// exactly one job.
+	id2, err := m.Submit(powFork())
+	if err != nil {
+		t.Fatalf("Submit job 2 after job 1 finished: %v", err)
+	}
+	if _, err := m.Job(id1); !errors.Is(err, scenario.ErrUnknownJob) {
+		t.Fatalf("job 1 should be evicted: got %v", err)
+	}
+	if j2, err := m.Wait(id2, time.Minute); err != nil || j2.State != scenario.StateDone {
+		t.Fatalf("Wait(job 2): state=%v err=%v", j2.State, err)
+	}
+	if jobs := m.Jobs(); len(jobs) != 1 || jobs[0].ID != id2 {
+		t.Fatalf("want exactly job %s retained, got %d jobs", id2, len(jobs))
+	}
+
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `scenario_runs_total{outcome="ok"} 2`) {
+		t.Fatalf("ok outcome not exported:\n%s", b.String())
+	}
+}

@@ -32,15 +32,15 @@ import (
 type collector struct {
 	e *Engine
 
-	outcomes map[string]*SampleOutcome
+	outcomes map[string]*SampleOutcome //cryptolint:guardedby Engine.mu
 	// pending holds what the aggregation will need should a sample be kept
 	// later (content for fuzzy-hash attribution, AV labels for PPI
 	// enrichment); entries are dropped once fed to the aggregator.
-	pending map[string]pendingInput
+	pending map[string]pendingInput //cryptolint:guardedby Engine.mu
 	// byWallet indexes outcomes carrying an identifier, for retroactive
 	// illicit-wallet flips.
-	byWallet map[string][]*SampleOutcome
-	illicit  map[string]bool
+	byWallet map[string][]*SampleOutcome //cryptolint:guardedby Engine.mu
+	illicit  map[string]bool             //cryptolint:guardedby Engine.mu
 
 	// rel is the union-find over sample hashes for the parent/dropped
 	// relation.
@@ -60,18 +60,18 @@ type collector struct {
 	// seenWallets tracks distinct identifiers across kept records, for the
 	// live profit running totals (and, in probe mode, for deciding which
 	// probe completions concern the dataset).
-	seenWallets map[string]bool
+	seenWallets map[string]bool //cryptolint:guardedby Engine.mu
 	// pricedProfit records, per wallet, the totals already folded into the
 	// live profit counters in probe mode; probe updates apply deltas against
 	// it so TTL refreshes adjust rather than double-count.
-	pricedProfit map[string]pricedTotals
+	pricedProfit map[string]pricedTotals //cryptolint:guardedby Engine.mu
 	// profitCache memoizes per-campaign profit for live views; entries are
 	// keyed by campaign pointer, so a rebuilt (dirty) campaign naturally
 	// misses and gets re-priced.
-	profitCache map[*model.Campaign]profit.CampaignProfit
+	profitCache map[*model.Campaign]profit.CampaignProfit //cryptolint:guardedby Engine.mu
 	// finalized flips once finalize has sealed the results; late probe
 	// updates (forced refreshes) must no longer touch shared campaign state.
-	finalized bool
+	finalized bool //cryptolint:guardedby Engine.mu
 	// now is the timeseries recording timestamp for the event currently
 	// being collected; the engine reads its clock once per event (collected
 	// sample or probe completion) so every series point the event records

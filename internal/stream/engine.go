@@ -56,7 +56,7 @@ type Engine struct {
 	// does NOT take it: every GET-shaped accessor serves from the last
 	// published view.
 	mu  sync.Mutex
-	col *collector
+	col *collector //cryptolint:guardedby mu
 
 	// view is the last published read snapshot (see view.go). Swapped under
 	// mu, loaded lock-free by readers; never nil (New seeds epoch 0).
@@ -71,8 +71,8 @@ type Engine struct {
 	// the collector has fully processed: everything below ackLow, plus the
 	// out-of-order window in ackAbove. Guarded by mu, so a state export
 	// observes an ack watermark exactly consistent with the collector state.
-	ackLow   uint64
-	ackAbove map[uint64]struct{}
+	ackLow   uint64              //cryptolint:guardedby mu
+	ackAbove map[uint64]struct{} //cryptolint:guardedby mu
 
 	runCtx     context.Context
 	startOnce  sync.Once
@@ -92,15 +92,15 @@ type Engine struct {
 	// subMu guards the event subscriptions (see events.go). It is strictly
 	// below mu in the lock order: publish is called with mu held.
 	subMu     sync.Mutex
-	subs      map[int]chan Event
-	nextSubID int
-	evSeq     uint64
+	subs      map[int]chan Event //cryptolint:guardedby subMu
+	nextSubID int                //cryptolint:guardedby subMu
+	evSeq     uint64             //cryptolint:guardedby subMu
 	// evDrops counts events dropped on full subscriber buffers (atomic:
 	// read by the metrics exposition while publish writes it).
 	evDrops atomic.Int64
 	// drainedEv retains the terminal EventDrained so late subscribers still
-	// receive it (guarded by subMu).
-	drainedEv *Event
+	// receive it.
+	drainedEv *Event //cryptolint:guardedby subMu
 }
 
 // engineMetrics is the engine's registered instrument set. All fields are

@@ -476,11 +476,13 @@ const (
 // lock. The lock order relative to the engine is strictly engine-mutex →
 // store-mutex; nothing here calls back into the engine.
 type Store struct {
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	// specs is set once by NewStore and immutable after (resolveTSQuery
+	// reads it lock-free), so it is deliberately not annotated mu-guarded.
 	specs     []LevelSpec
-	series    map[string]*Series
-	timelines map[string]map[string]*Series
-	years     map[int]int64
+	series    map[string]*Series            //cryptolint:guardedby mu
+	timelines map[string]map[string]*Series //cryptolint:guardedby mu
+	years     map[int]int64                 //cryptolint:guardedby mu
 }
 
 // NewStore builds an empty store over the given retention ladder (nil =

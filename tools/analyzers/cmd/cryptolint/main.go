@@ -18,22 +18,51 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cryptomining/tools/analyzers/analysis"
 	"cryptomining/tools/analyzers/load"
+	"cryptomining/tools/analyzers/passes/atomicmix"
 	"cryptomining/tools/analyzers/passes/canonicalexport"
 	"cryptomining/tools/analyzers/passes/directclock"
 	"cryptomining/tools/analyzers/passes/envelope"
+	"cryptomining/tools/analyzers/passes/goroleak"
+	"cryptomining/tools/analyzers/passes/guardedby"
+	"cryptomining/tools/analyzers/passes/hotalloc"
 	"cryptomining/tools/analyzers/passes/lockorder"
 	"cryptomining/tools/analyzers/passes/metricconv"
+	"cryptomining/tools/analyzers/passes/wirecompat"
 )
 
-var analyzers = []*analysis.Analyzer{
+var analyzers = sortedAnalyzers(
+	atomicmix.Analyzer,
 	canonicalexport.Analyzer,
 	directclock.Analyzer,
 	envelope.Analyzer,
+	goroleak.Analyzer,
+	guardedby.Analyzer,
+	hotalloc.Analyzer,
 	lockorder.Analyzer,
 	metricconv.Analyzer,
+	wirecompat.Analyzer,
+)
+
+// sortedAnalyzers orders the roster by name so -list output, flag listings
+// and per-package run order are all deterministic regardless of registration
+// order.
+func sortedAnalyzers(as ...*analysis.Analyzer) []*analysis.Analyzer {
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// listString renders the -list output: one line per analyzer, sorted by
+// name. The golden test and the CI roster assertion consume it.
+func listString() string {
+	var b strings.Builder
+	for _, a := range analyzers {
+		fmt.Fprintf(&b, "%-16s %s\n", a.Name, a.Doc)
+	}
+	return b.String()
 }
 
 func main() {
@@ -57,9 +86,7 @@ func run() int {
 	_ = fs.Parse(os.Args[1:])
 
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
-		}
+		fmt.Print(listString())
 		return 0
 	}
 
@@ -67,10 +94,19 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := load.Module(*dir, patterns)
+	pkgs, all, err := load.ModuleAll(*dir, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cryptolint:", err)
 		return 2
+	}
+	module := make([]*analysis.ModulePkg, 0, len(all))
+	for _, p := range all {
+		module = append(module, &analysis.ModulePkg{
+			PkgPath:   p.PkgPath,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.TypesInfo,
+		})
 	}
 
 	type finding struct {
@@ -88,6 +124,7 @@ func run() int {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Module:    module,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				p := pkg.Fset.Position(d.Pos)

@@ -1,0 +1,128 @@
+// Command hotallocbudget maintains the hot-path allocation budget the
+// hotalloc pass enforces. It walks the module exactly like the pass does —
+// same roots, same reachability, same site counting — and either
+//
+//	hotallocbudget -dir ../.. -write     regenerates hotalloc_budget.json
+//	                                     from the current tree (the diff is
+//	                                     the reviewable budget change), or
+//	hotallocbudget -dir ../..            prints a markdown headroom table
+//	                                     (CI uploads it as the lint job's
+//	                                     step summary).
+//
+// Exit codes: 0 ok, 1 any hot-path function over budget, 2 load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cryptomining/tools/analyzers/internal/dataflow"
+	"cryptomining/tools/analyzers/load"
+	"cryptomining/tools/analyzers/passes/hotalloc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", ".", "root of the module to analyze")
+	rootsPkg := flag.String("roots-pkg", "internal/stream",
+		"package-path fragments whose Process methods and NewStage arguments seed the hot path")
+	stageCtor := flag.String("stagector", "NewStage", "stage constructor name")
+	budgetPath := flag.String("budget", "hotalloc_budget.json", "budget file to write or compare against")
+	write := flag.Bool("write", false, "regenerate the budget file instead of printing the headroom table")
+	flag.Parse()
+
+	_, all, err := load.ModuleAll(*dir, []string{"./..."})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotallocbudget:", err)
+		return 2
+	}
+	srcs := make([]dataflow.Source, 0, len(all))
+	for _, p := range all {
+		srcs = append(srcs, dataflow.Source{Files: p.Files, Pkg: p.Types, Info: p.TypesInfo})
+	}
+	graph := dataflow.NewGraph(srcs)
+	roots := hotalloc.Roots(srcs, graph, *rootsPkg, *stageCtor)
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "hotallocbudget: no hot-path roots found (wrong -roots-pkg?)")
+		return 2
+	}
+	infoOf := map[string]*load.Package{}
+	for _, p := range all {
+		infoOf[p.PkgPath] = p
+	}
+	counts := map[string]int{}
+	for _, n := range graph.Reachable(roots) {
+		if p, ok := infoOf[n.Pkg.Path()]; ok {
+			if c := hotalloc.CountSites(p.TypesInfo, n.Decl.Body); c > 0 {
+				counts[n.Obj.FullName()] = c
+			}
+		}
+	}
+
+	if *write {
+		data, err := json.MarshalIndent(counts, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotallocbudget:", err)
+			return 2
+		}
+		if err := os.WriteFile(*budgetPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hotallocbudget:", err)
+			return 2
+		}
+		fmt.Printf("wrote %s: %d hot-path functions, %d allocation sites\n",
+			*budgetPath, len(counts), total(counts))
+		return 0
+	}
+
+	budget, err := hotalloc.LoadBudget(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotallocbudget:", err)
+		return 2
+	}
+	names := map[string]bool{}
+	for n := range counts {
+		names[n] = true
+	}
+	for n := range budget {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	over := 0
+	fmt.Println("| hot-path function | sites | budget | headroom |")
+	fmt.Println("|---|---:|---:|---:|")
+	for _, n := range ordered {
+		headroom := budget[n] - counts[n]
+		marker := ""
+		if headroom < 0 {
+			marker = " ⚠"
+			over++
+		}
+		fmt.Printf("| `%s` | %d | %d | %d%s |\n", n, counts[n], budget[n], headroom, marker)
+	}
+	fmt.Printf("\n%d hot-path functions, %d allocation sites, budget %d, headroom %d\n",
+		len(counts), total(counts), total(budget), total(budget)-total(counts))
+	if over > 0 {
+		fmt.Fprintf(os.Stderr, "hotallocbudget: %d function(s) over budget\n", over)
+		return 1
+	}
+	return 0
+}
+
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

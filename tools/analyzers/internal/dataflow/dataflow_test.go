@@ -1,0 +1,213 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// load type-checks one synthetic package. The stand-in mutex avoids an
+// importer: lockEffect matches on field name and owner type, not on the
+// mutex's declared type.
+const header = `package p
+
+type M struct{}
+
+func (*M) Lock()   {}
+func (*M) Unlock() {}
+
+type S struct {
+	mu M
+	n  int
+}
+`
+
+func loadFunc(t *testing.T, body string) (*types.Info, *ast.File, Guard) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", header+body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := pkg.Scope().Lookup("S").(*types.TypeName)
+	if owner == nil {
+		t.Fatal("S not found")
+	}
+	return info, f, Guard{Owner: owner, Field: "mu"}
+}
+
+// statesAtN walks the last function of the file and returns the state at
+// every use of field n, in source order.
+func statesAtN(t *testing.T, body string) []State {
+	t.Helper()
+	info, f, guard := loadFunc(t, body)
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok {
+			fd = x
+		}
+	}
+	var out []State
+	WalkFunc(info, fd.Body, guard, func(node ast.Node, st State) {
+		id, ok := node.(*ast.Ident)
+		if !ok || id.Name != "n" {
+			return
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+			out = append(out, st)
+		}
+	})
+	return out
+}
+
+func fmtStates(sts []State) string {
+	parts := make([]string, len(sts))
+	for i, s := range sts {
+		parts[i] = fmt.Sprintf("{M:%v K:%v}", s.Must, s.Killed)
+	}
+	return strings.Join(parts, " ")
+}
+
+func expect(t *testing.T, body string, want ...State) {
+	t.Helper()
+	got := statesAtN(t, body)
+	if len(got) != len(want) {
+		t.Fatalf("got %d states (%s), want %d (%s)", len(got), fmtStates(got), len(want), fmtStates(want))
+	}
+	for i := range got {
+		if got[i].Must != want[i].Must || got[i].Killed != want[i].Killed {
+			t.Errorf("access %d: got %s, want %s", i, fmtStates(got[i:i+1]), fmtStates(want[i:i+1]))
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	expect(t, `
+func f(s *S) {
+	_ = s.n
+	s.mu.Lock()
+	_ = s.n
+	s.mu.Unlock()
+	_ = s.n
+}`,
+		State{},             // before lock: entry assumption rules
+		State{Must: true},   // locked
+		State{Killed: true}, // released
+	)
+}
+
+func TestEarlyReturnBranch(t *testing.T) {
+	expect(t, `
+func f(s *S, c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	_ = s.n
+	s.mu.Unlock()
+}`,
+		State{Must: true}, // the unlocking branch returned; the live path holds
+	)
+}
+
+func TestLoopReleaseFixpoint(t *testing.T) {
+	expect(t, `
+func f(s *S) {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		_ = s.n
+		s.mu.Unlock()
+	}
+}`,
+		State{Killed: true}, // iteration 2+ runs unlocked
+	)
+}
+
+func TestLoopBreakState(t *testing.T) {
+	expect(t, `
+func f(s *S, c bool) {
+	s.mu.Lock()
+	for {
+		if c {
+			s.mu.Unlock()
+			break
+		}
+	}
+	_ = s.n
+}`,
+		State{Killed: true}, // only exit is the unlocking break
+	)
+}
+
+func TestGoroutineNeverInherits(t *testing.T) {
+	expect(t, `
+func f(s *S) {
+	s.mu.Lock()
+	go func() {
+		_ = s.n
+	}()
+	_ = s.n
+	s.mu.Unlock()
+}`,
+		State{Killed: true}, // inside the goroutine: forced unheld
+		State{Must: true},   // the spawner still holds
+	)
+}
+
+func TestDeferKeepsLock(t *testing.T) {
+	expect(t, `
+func f(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.n
+}`,
+		State{Must: true},
+	)
+}
+
+func TestSwitchWithoutDefaultMergesEntry(t *testing.T) {
+	expect(t, `
+func f(s *S, x int) {
+	switch x {
+	case 1:
+		s.mu.Lock()
+	}
+	_ = s.n
+}`,
+		State{}, // the no-case path never locked
+	)
+}
+
+func TestHolds(t *testing.T) {
+	cases := []struct {
+		st         State
+		entry, out bool
+	}{
+		{State{Must: true}, false, true},
+		{State{Must: true}, true, true},
+		{State{}, true, true},
+		{State{}, false, false},
+		{State{Killed: true}, true, false},
+		{State{Dead: true}, false, true},
+	}
+	for i, c := range cases {
+		if got := c.st.Holds(c.entry); got != c.out {
+			t.Errorf("case %d: Holds(%v) = %v, want %v", i, c.entry, got, c.out)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package atomicmix enforces all-or-nothing atomicity: a variable or struct
+// field accessed through sync/atomic anywhere in a package must never be
+// accessed by a plain load or store elsewhere in that package. Mixing the two
+// is a data race the race detector only catches when both sides happen to
+// run under test — the classic failure mode around hand-rolled counters.
+//
+// Exemptions: constructor bodies (New*/new* — initialization happens before
+// the value escapes to another goroutine) and the typed atomics
+// (atomic.Int64 and friends), whose API makes plain access impossible.
+// The check is intra-package: the repository's atomically-accessed fields
+// are unexported, so cross-package plain access cannot compile anyway.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/dataflow"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+const name = "atomicmix"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "a field accessed through sync/atomic must never be accessed by plain load/store elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := map[*ast.File]*lintutil.Directives{}
+	for _, f := range pass.Files {
+		dirs[f] = lintutil.DirectivesFor(pass.Fset, f)
+		dirs[f].ReportMalformed(pass)
+	}
+	allowed := func(pos token.Pos) bool {
+		for f, d := range dirs {
+			if f.Pos() <= pos && pos <= f.End() {
+				return d.Allowed(name, pos)
+			}
+		}
+		return false
+	}
+
+	// Phase 1: every &x handed to a sync/atomic function marks x atomic; the
+	// identifier inside the &x operand is sanctioned.
+	atomicVars := map[*types.Var]token.Pos{} // var -> first atomic-access site
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			id := baseIdent(addr.X)
+			if id == nil {
+				return true
+			}
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Phase 2: any other identifier resolving to an atomic var is a plain
+	// access, unless it sits inside a constructor.
+	for _, f := range pass.Files {
+		inConstructor := constructorRanges(f)
+		ast.Inspect(f, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, isAtomic := atomicVars[v]; !isAtomic {
+				return true
+			}
+			if inConstructor(id.Pos()) || allowed(id.Pos()) {
+				return true
+			}
+			kind := "variable"
+			if v.IsField() {
+				kind = "field"
+			}
+			pass.Reportf(id.Pos(),
+				"%s %s is accessed through sync/atomic elsewhere (first at %s) but plainly here: this races — use the atomic API for every access, or a mutex for all of them",
+				kind, v.Name(), pass.Fset.Position(atomicVars[v]))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// baseIdent resolves the identifier an address-of operand names: the selected
+// field of a selector chain, or the identifier itself.
+func baseIdent(expr ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}
+
+// constructorRanges returns a predicate for "position inside a New*/new*
+// function body" in one file.
+func constructorRanges(f *ast.File) func(token.Pos) bool {
+	type span struct{ lo, hi token.Pos }
+	var spans []span
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !dataflow.IsConstructor(fd.Name.Name) {
+			continue
+		}
+		spans = append(spans, span{fd.Body.Pos(), fd.Body.End()})
+	}
+	return func(pos token.Pos) bool {
+		for _, s := range spans {
+			if s.lo <= pos && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "mixed")
+}

@@ -1,0 +1,49 @@
+// Package mixed exercises the atomicmix pass.
+package mixed
+
+import "sync/atomic"
+
+type C struct {
+	hits   uint64
+	misses uint64
+	plain  int
+}
+
+func (c *C) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+}
+
+func (c *C) Read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *C) Bad() uint64 {
+	return c.hits // want `field hits is accessed through sync/atomic elsewhere`
+}
+
+func (c *C) BadWrite() {
+	c.hits = 0 // want `field hits is accessed through sync/atomic elsewhere`
+}
+
+// FinePlain: plain is never touched atomically, plain access is fine.
+func (c *C) FinePlain() int { return c.plain }
+
+// NewC: constructor initialization before the value escapes is exempt.
+func NewC() *C {
+	c := &C{}
+	c.hits = 0
+	return c
+}
+
+var global int64
+
+func IncGlobal() { atomic.AddInt64(&global, 1) }
+
+func BadGlobal() int64 {
+	return global // want `variable global is accessed through sync/atomic elsewhere`
+}
+
+func (c *C) Allowed() uint64 {
+	return c.misses //cryptolint:allow atomicmix advisory snapshot read, staleness is fine
+}

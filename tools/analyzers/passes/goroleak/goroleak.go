@@ -1,0 +1,167 @@
+// Package goroleak guards the long-lived packages against unstoppable
+// goroutines: every `go` statement must have a reachable shutdown edge — a
+// context/done-channel receive, a select, or a return out of its infinite
+// loop — on some path. A goroutine whose call tree contains a bare
+//
+//	for { work() }
+//
+// with no channel receive and no way out runs until process death, holding
+// whatever it captured; in a daemon that restarts subsystems (scenario
+// replays, probe refresh loops) each leak compounds.
+//
+// The pass resolves the spawned body (function literal or same-package named
+// function) and walks everything reachable from it over the package call
+// graph. Short-lived goroutines — no infinite loop anywhere in their call
+// tree — always pass: termination is itself a shutdown edge.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/dataflow"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+const name = "goroleak"
+
+var pkgs string
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "every go statement in long-lived packages needs a reachable shutdown edge",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs",
+		"internal/stream,internal/probe,internal/persist,internal/api,internal/scenario",
+		"comma-separated package-path fragments whose go statements are checked")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	dirs := map[*ast.File]*lintutil.Directives{}
+	for _, f := range pass.Files {
+		dirs[f] = lintutil.DirectivesFor(pass.Fset, f)
+		dirs[f].ReportMalformed(pass)
+	}
+	allowed := func(pos token.Pos) bool {
+		for f, d := range dirs {
+			if f.Pos() <= pos && pos <= f.End() {
+				return d.Allowed(name, pos)
+			}
+		}
+		return false
+	}
+
+	graph := dataflow.NewGraph([]dataflow.Source{{Files: pass.Files, Pkg: pass.Pkg, Info: pass.TypesInfo}})
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			g, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if loop := unstoppableLoop(pass, graph, g.Call); loop != token.NoPos && !allowed(g.Pos()) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no reachable shutdown edge: infinite loop at %s contains no context/done-channel receive, select or return — thread a ctx or done channel through it",
+					pass.Fset.Position(loop))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// unstoppableLoop finds the first infinite loop without a shutdown edge in
+// the spawned call's reachable bodies, token.NoPos when every loop can stop.
+func unstoppableLoop(pass *analysis.Pass, graph *dataflow.Graph, call *ast.CallExpr) token.Pos {
+	var bodies []ast.Node
+	var roots []*types.Func
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		bodies = append(bodies, lit.Body)
+		roots = calleesIn(pass.TypesInfo, graph, lit.Body)
+	} else if fn := lintutil.FuncObject(pass.TypesInfo, call.Fun); fn != nil {
+		roots = []*types.Func{fn}
+	}
+	for _, n := range graph.Reachable(roots) {
+		bodies = append(bodies, n.Decl.Body)
+	}
+	for _, body := range bodies {
+		if pos := scanLoops(body); pos != token.NoPos {
+			return pos
+		}
+	}
+	return token.NoPos
+}
+
+// calleesIn collects graph members referenced inside a function literal body.
+func calleesIn(info *types.Info, graph *dataflow.Graph, body ast.Node) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok && graph.Index[fn] != nil {
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanLoops returns the position of the first `for {` in body that has no
+// shutdown edge.
+func scanLoops(body ast.Node) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		loop, ok := node.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasShutdownEdge(loop.Body) {
+			found = loop.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasShutdownEdge reports whether a loop body contains any construct that can
+// observe cancellation or leave the loop: a channel receive, a select, a
+// range (channel ranges end on close; others imply bounded work per pass), a
+// return, or a break.
+func hasShutdownEdge(body *ast.BlockStmt) bool {
+	edge := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if edge {
+			return false
+		}
+		switch n := node.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				edge = true
+			}
+		case *ast.SelectStmt, *ast.ReturnStmt:
+			edge = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				edge = true
+			}
+		case *ast.FuncLit:
+			// A nested literal's body runs on its own schedule; its receives
+			// do not unblock this loop.
+			return false
+		}
+		return true
+	})
+	return edge
+}

@@ -1,0 +1,17 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	prev := goroleak.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := goroleak.Analyzer.Flags.Set("pkgs", "leaky"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { goroleak.Analyzer.Flags.Set("pkgs", prev) })
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "leaky")
+}

@@ -1,0 +1,83 @@
+// Package leaky exercises the goroleak pass.
+package leaky
+
+import "context"
+
+type W struct{ done chan struct{} }
+
+func work() {}
+
+// StartGood: the select observes cancellation.
+func (w *W) StartGood(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// StartBad: bare spin loop in the literal itself.
+func (w *W) StartBad() {
+	go func() { // want `goroutine has no reachable shutdown edge`
+		for {
+			work()
+		}
+	}()
+}
+
+// pump receives from a channel: close(w.done) ends it.
+func (w *W) pump() {
+	for {
+		<-w.done
+	}
+}
+
+// spin can never be stopped.
+func (w *W) spin() {
+	for {
+		work()
+	}
+}
+
+func (w *W) StartNamedBad() {
+	go w.spin() // want `goroutine has no reachable shutdown edge`
+}
+
+func (w *W) StartNamedGood() {
+	go w.pump()
+}
+
+// StartIndirectBad: the leak sits one call deep.
+func (w *W) StartIndirectBad() {
+	go func() { // want `goroutine has no reachable shutdown edge`
+		w.spin()
+	}()
+}
+
+// ShortLived terminates on its own: termination is a shutdown edge.
+func ShortLived() {
+	go work()
+}
+
+func (w *W) StartAllowed() {
+	//cryptolint:allow goroleak process-lifetime pump, dies with the process
+	go w.spin()
+}
+
+// BreakOut: the loop can leave via break.
+func BreakOut(n int) {
+	go func() {
+		i := 0
+		for {
+			if i > n {
+				break
+			}
+			i++
+		}
+	}()
+}

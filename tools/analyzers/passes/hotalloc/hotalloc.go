@@ -1,0 +1,287 @@
+// Package hotalloc pins a per-function allocation budget on the streaming
+// hot path: every function reachable from a Stage.Process implementation (or
+// from a function value handed to NewStage) is scanned for heap-escaping
+// allocation sites — fmt calls, map/slice composite literals, &struct{}
+// literals, make/new/append, closures, string concatenation and explicit
+// interface boxing — and compared against the committed budget file
+// (tools/analyzers/hotalloc_budget.json). A new allocation on the hot path
+// fails CI until the budget is raised in a reviewable diff; tightening the
+// budget is the enforcement half of the ROADMAP ingest-speed item.
+//
+// The reachability walk is whole-program when the driver supplies the module
+// closure (Pass.Module): a helper in internal/static called from a stage in
+// internal/stream is on the hot path even though the root lives elsewhere.
+// Counting is syntactic, deliberately: the count only ever moves when the
+// code does, which is what makes the budget diffable. Functions off the hot
+// path are unconstrained.
+package hotalloc
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/internal/dataflow"
+	"cryptomining/tools/analyzers/internal/lintutil"
+)
+
+const name = "hotalloc"
+
+var (
+	rootsPkg   string
+	stageCtor  string
+	budgetPath string
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "hot-path functions (reachable from Stage.Process) must stay within the committed allocation budget",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&rootsPkg, "roots-pkg", "internal/stream",
+		"comma-separated package-path fragments whose Process methods and NewStage arguments seed the hot path")
+	Analyzer.Flags.StringVar(&stageCtor, "stagector", "NewStage",
+		"name of the stage constructor whose function arguments are hot-path roots")
+	Analyzer.Flags.StringVar(&budgetPath, "budget", "hotalloc_budget.json",
+		"path to the committed allocation budget (relative to the working directory)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	srcs := Sources(pass)
+	graph := dataflow.NewGraph(srcs)
+	roots := Roots(srcs, graph, rootsPkg, stageCtor)
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	budget, err := LoadBudget(budgetPath)
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: %v", err)
+	}
+
+	dirs := map[*ast.File]*lintutil.Directives{}
+	for _, f := range pass.Files {
+		dirs[f] = lintutil.DirectivesFor(pass.Fset, f)
+		dirs[f].ReportMalformed(pass)
+	}
+	allowed := func(pos token.Pos) bool {
+		for f, d := range dirs {
+			if f.Pos() <= pos && pos <= f.End() {
+				return d.Allowed(name, pos)
+			}
+		}
+		return false
+	}
+
+	infoOf := map[*types.Package]*types.Info{}
+	for _, s := range srcs {
+		infoOf[s.Pkg] = s.Info
+	}
+	for _, n := range graph.Reachable(roots) {
+		// Only the pass's own package reports: the sweep visits every package
+		// once, so findings are not duplicated across passes.
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		count := CountSites(infoOf[n.Pkg], n.Decl.Body)
+		full := n.Obj.FullName()
+		if count > budget[full] && !allowed(n.Decl.Name.Pos()) {
+			pass.Reportf(n.Decl.Name.Pos(),
+				"hot-path function %s has %d allocation site(s), budget %d: trim the allocations or raise its entry in %s",
+				full, count, budget[full], budgetPath)
+		}
+	}
+	return nil, nil
+}
+
+// Sources adapts a pass to graph sources: the full module closure when the
+// driver supplies one, the lone analyzed package otherwise.
+func Sources(pass *analysis.Pass) []dataflow.Source {
+	if len(pass.Module) == 0 {
+		return []dataflow.Source{{Files: pass.Files, Pkg: pass.Pkg, Info: pass.TypesInfo}}
+	}
+	srcs := make([]dataflow.Source, 0, len(pass.Module))
+	for _, m := range pass.Module {
+		srcs = append(srcs, dataflow.Source{Files: m.Files, Pkg: m.Pkg, Info: m.TypesInfo})
+	}
+	return srcs
+}
+
+// Roots finds the hot-path entry points in packages matching rootsFrag:
+// methods named Process, plus every function or method value referenced
+// inside a function that calls the stage constructor. The latter is
+// deliberately wider than "direct constructor arguments": real registration
+// code builds an array of method values and loops over it, so the values
+// reaching the constructor are loop variables no static resolver can chase.
+// Any value reference in a registering function over-approximates that flow.
+func Roots(srcs []dataflow.Source, graph *dataflow.Graph, rootsFrag, ctor string) []*types.Func {
+	var roots []*types.Func
+	seen := map[*types.Func]bool{}
+	add := func(fn *types.Func) {
+		if !seen[fn] {
+			seen[fn] = true
+			roots = append(roots, fn)
+		}
+	}
+	for _, n := range graph.Nodes {
+		if n.Pkg != nil && lintutil.PkgMatches(n.Pkg.Path(), rootsFrag) &&
+			n.Decl.Recv != nil && n.Decl.Name.Name == "Process" {
+			add(n.Obj)
+		}
+	}
+	for _, s := range srcs {
+		if s.Pkg == nil || !lintutil.PkgMatches(s.Pkg.Path(), rootsFrag) {
+			continue
+		}
+		for _, f := range s.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !callsCtor(s.Info, fd.Body, ctor) {
+					continue
+				}
+				for _, fn := range valueRefs(s.Info, fd.Body, graph) {
+					add(fn)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// callsCtor reports whether body contains a call to a function named ctor.
+func callsCtor(info *types.Info, body *ast.BlockStmt, ctor string) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			if fn := lintutil.Callee(info, call); fn != nil && fn.Name() == ctor {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// valueRefs collects graph-member functions referenced in body outside call
+// position — method values in composite literals, idents passed as args.
+func valueRefs(info *types.Info, body *ast.BlockStmt, graph *dataflow.Graph) []*types.Func {
+	inCallPos := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				inCallPos[fun] = true
+			case *ast.SelectorExpr:
+				inCallPos[fun.Sel] = true
+			}
+		}
+		return true
+	})
+	var out []*types.Func
+	ast.Inspect(body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || inCallPos[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok && graph.Index[fn] != nil {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// CountSites counts the heap-escaping allocation sites of one body.
+func CountSites(info *types.Info, body *ast.BlockStmt) int {
+	if body == nil || info == nil {
+		return 0
+	}
+	count := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if isAlloc(info, n) {
+				count++
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map, *types.Slice:
+				count++
+			}
+		case *ast.UnaryExpr:
+			// &T{...}: the pointee escapes with the pointer.
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					count++
+				}
+			}
+		case *ast.FuncLit:
+			count++ // the closure itself; its body is inspected too
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						count++
+					}
+				}
+			}
+		}
+		return true
+	})
+	return count
+}
+
+// isAlloc classifies one call as an allocation site: any fmt call, the
+// make/new/append builtins, or an explicit conversion boxing a concrete
+// value into an interface.
+func isAlloc(info *types.Info, call *ast.CallExpr) bool {
+	if fn := lintutil.Callee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				return true
+			}
+		}
+	}
+	// Explicit interface boxing: T(x) where T is an interface and x is not.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			if at := info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Budget is the committed allocation budget: types.Func FullName to allowed
+// site count. Absent functions have budget zero.
+type Budget map[string]int
+
+// LoadBudget reads a budget file; a missing file is an empty budget (every
+// hot-path allocation flagged), so a fresh tree fails closed.
+func LoadBudget(path string) (Budget, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Budget{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", path, err)
+	}
+	return b, nil
+}

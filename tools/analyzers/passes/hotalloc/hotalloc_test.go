@@ -1,0 +1,23 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/passes/hotalloc"
+)
+
+func configure(t *testing.T, flag, value string) {
+	t.Helper()
+	prev := hotalloc.Analyzer.Flags.Lookup(flag).Value.String()
+	if err := hotalloc.Analyzer.Flags.Set(flag, value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hotalloc.Analyzer.Flags.Set(flag, prev) })
+}
+
+func TestHotAlloc(t *testing.T) {
+	configure(t, "roots-pkg", "hot")
+	configure(t, "budget", "testdata/budget.json")
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hot")
+}

@@ -1,0 +1,53 @@
+// Package hot exercises the hotalloc pass: Process roots, NewStage roots,
+// reachable helpers with and without budget headroom, and cold functions.
+package hot
+
+import "fmt"
+
+type T struct{ s string }
+
+type S struct{}
+
+// Process is a hot-path root by method name; its Sprintf is one site over
+// its (absent, therefore zero) budget.
+func (S) Process(t *T) { // want `hot-path function \(hot\.S\)\.Process has 1 allocation site\(s\), budget 0`
+	t.s = fmt.Sprintf("x%d", 1)
+	helper(t)
+}
+
+// helper is reachable from Process: two sites, budget two — exactly at
+// budget is clean.
+func helper(t *T) {
+	m := map[string]int{}
+	_ = m
+	b := make([]byte, 4)
+	_ = b
+}
+
+// cold is off the hot path: allocate freely.
+func cold() string {
+	return fmt.Sprintf("%d", 2)
+}
+
+// NewStage stands in for the stage constructor.
+func NewStage(name string, fn func(*T)) {}
+
+func wire() {
+	NewStage("a", stageFn)
+}
+
+// stageFn is a root via the NewStage argument: slice literal plus append is
+// two sites against a budget of one.
+func stageFn(t *T) { // want `hot-path function hot\.stageFn has 2 allocation site\(s\), budget 1`
+	_ = append([]int{}, 1)
+}
+
+// allowedHot documents an accepted allocation instead of a budget entry.
+func wire2() {
+	NewStage("b", allowedHot)
+}
+
+//cryptolint:allow hotalloc one-time error formatting on a cold branch
+func allowedHot(t *T) {
+	t.s = fmt.Sprintf("e%d", 3)
+}

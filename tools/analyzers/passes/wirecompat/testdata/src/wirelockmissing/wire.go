@@ -1,0 +1,7 @@
+// Package wirelockmissing has no committed lock: the pass fails closed and
+// demands one.
+package wirelockmissing // want `has no schema lock`
+
+type T struct {
+	A int `json:"a"`
+}

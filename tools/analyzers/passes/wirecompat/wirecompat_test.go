@@ -1,0 +1,71 @@
+package wirecompat_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cryptomining/tools/analyzers/analysis"
+	"cryptomining/tools/analyzers/analysistest"
+	"cryptomining/tools/analyzers/load"
+	"cryptomining/tools/analyzers/passes/wirecompat"
+)
+
+func configure(t *testing.T, flag, value string) {
+	t.Helper()
+	prev := wirecompat.Analyzer.Flags.Lookup(flag).Value.String()
+	if err := wirecompat.Analyzer.Flags.Set(flag, value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wirecompat.Analyzer.Flags.Set(flag, prev) })
+}
+
+func TestWireCompat(t *testing.T) {
+	configure(t, "pkg", "wirelock")
+	analysistest.Run(t, "testdata", wirecompat.Analyzer, "wirelock", "wirelockmissing")
+}
+
+// TestWriteRegeneratesLock proves -write produces a lock the checking mode
+// accepts verbatim: regenerate into a temp file from the fixture sources,
+// then re-run the pass against it and require zero findings.
+func TestWriteRegeneratesLock(t *testing.T) {
+	pkg, errs := load.Dir(filepath.Join("testdata", "src"), "wirelock")
+	if len(errs) > 0 {
+		t.Fatalf("load: %v", errs)
+	}
+	lock := filepath.Join(t.TempDir(), "apiv1.lock.json")
+	configure(t, "pkg", "wirelock")
+	configure(t, "lock", lock)
+	configure(t, "write", "true")
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  wirecompat.Analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := wirecompat.Analyzer.Run(pass); err != nil {
+		t.Fatalf("write run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("write mode reported findings: %v", diags)
+	}
+	data, err := os.ReadFile(lock)
+	if err != nil {
+		t.Fatalf("lock not written: %v", err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatalf("lock file malformed: %q", data)
+	}
+
+	configure(t, "write", "false")
+	if _, err := wirecompat.Analyzer.Run(pass); err != nil {
+		t.Fatalf("check run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("freshly written lock still yields findings: %v", diags)
+	}
+}
